@@ -1,0 +1,170 @@
+// Baseline comparison (paper section 2): FUSE vs a SWIM-style weakly
+// consistent membership service.
+//
+// Two scenarios: (a) steady-state message cost and crash-detection latency;
+// (b) the intransitive connectivity failure, where a membership list forces a
+// bad choice (section 2's three options) while FUSE fails exactly the
+// affected group.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "membership/swim.h"
+#include "net/network.h"
+#include "transport/tcp_model.h"
+
+namespace {
+
+using namespace fuse;
+using namespace fuse::bench;
+
+constexpr int kNodes = 100;
+
+struct SwimResult {
+  double msgs_per_sec = 0;
+  double detect_s = 0;     // first detection of the crash anywhere
+  double everyone_s = 0;   // dissemination complete
+};
+
+SwimResult RunSwim(uint64_t seed) {
+  Simulation sim(seed);
+  SimNetwork net{Topology::Generate(TopologyConfig{}, sim.rng())};
+  SimFabric fabric(sim, net, CostModel::Simulator());
+  std::vector<HostId> hosts;
+  for (int i = 0; i < kNodes; ++i) {
+    hosts.push_back(net.AddHost(sim.rng()));
+  }
+  std::vector<std::unique_ptr<SwimMember>> members;
+  for (int i = 0; i < kNodes; ++i) {
+    members.push_back(std::make_unique<SwimMember>(fabric.TransportFor(hosts[i])));
+  }
+  for (auto& m : members) {
+    m->Start(hosts);
+  }
+  sim.RunFor(Duration::Minutes(2));
+  const auto w = sim.metrics().BeginWindow(sim.Now());
+  sim.RunFor(Duration::Minutes(10));
+  SwimResult out;
+  out.msgs_per_sec = sim.metrics().MessagesPerSecond(w, sim.Now());
+
+  const TimePoint t0 = sim.Now();
+  fabric.CrashHost(hosts[7]);
+  members[7]->Stop();
+  TimePoint first = TimePoint::Max();
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i != 7) {
+      members[i]->SetDeathHandler([&, i](HostId dead) {
+        if (dead == hosts[7] && sim.Now() < first) {
+          first = sim.Now();
+        }
+      });
+    }
+  }
+  auto all_know = [&] {
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i != 7 && members[i]->StateOf(hosts[7]) != SwimMember::State::kDead) {
+        return false;
+      }
+    }
+    return true;
+  };
+  sim.RunUntilCondition(all_know, sim.Now() + Duration::Minutes(20));
+  out.detect_s = (first - t0).ToSecondsF();
+  out.everyone_s = (sim.Now() - t0).ToSecondsF();
+  return out;
+}
+
+struct FuseResult {
+  double msgs_per_sec = 0;
+  double detect_s = 0;
+  double everyone_s = 0;
+};
+
+FuseResult RunFuse(uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.num_nodes = kNodes;
+  cfg.seed = seed;
+  cfg.cost = CostModel::Simulator();
+  SimCluster cluster(cfg);
+  cluster.Build();
+  // A comparable monitoring workload: 25 groups of 4.
+  struct GroupInfo {
+    FuseId id;
+    std::vector<size_t> members;
+  };
+  std::vector<GroupInfo> groups;
+  for (int g = 0; g < 25; ++g) {
+    const auto members = cluster.PickLiveNodes(4);
+    Status status;
+    const FuseId id = CreateGroupTimed(cluster, members[0], members, &status, nullptr);
+    if (status.ok()) {
+      groups.push_back({id, members});
+    }
+  }
+  cluster.sim().RunFor(Duration::Minutes(2));
+  const auto w = cluster.sim().metrics().BeginWindow(cluster.sim().Now());
+  cluster.sim().RunFor(Duration::Minutes(10));
+  FuseResult out;
+  out.msgs_per_sec = cluster.sim().metrics().MessagesPerSecond(w, cluster.sim().Now());
+
+  // Crash one node that belongs to at least one group.
+  const size_t victim = groups.front().members.back();
+  int pending = 0;
+  const TimePoint t0 = cluster.sim().Now();
+  TimePoint first = TimePoint::Max();
+  TimePoint last = t0;
+  for (const auto& g : groups) {
+    bool has_victim = false;
+    for (size_t m : g.members) {
+      has_victim = has_victim || m == victim;
+    }
+    if (!has_victim) {
+      continue;
+    }
+    for (size_t m : g.members) {
+      if (m == victim) {
+        continue;
+      }
+      ++pending;
+      cluster.node(m).fuse()->RegisterFailureHandler(g.id, [&](FuseId) {
+        --pending;
+        if (cluster.sim().Now() < first) {
+          first = cluster.sim().Now();
+        }
+        last = cluster.sim().Now();
+      });
+    }
+  }
+  cluster.Crash(victim);
+  cluster.sim().RunUntilCondition([&] { return pending == 0; },
+                                  cluster.sim().Now() + Duration::Minutes(10));
+  out.detect_s = (first - t0).ToSecondsF();
+  out.everyone_s = (last - t0).ToSecondsF();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Header("Baseline: FUSE vs SWIM-style membership (100 nodes)", "paper section 2");
+
+  const SwimResult swim = RunSwim(70001);
+  const FuseResult fuse_r = RunFuse(70002);
+
+  std::printf("\nsteady-state load and crash detection:\n");
+  std::printf("  %-22s %14s %16s %18s\n", "system", "msgs/sec", "first detect", "all informed");
+  std::printf("  %-22s %14.1f %14.1fs %16.1fs\n", "SWIM membership", swim.msgs_per_sec,
+              swim.detect_s, swim.everyone_s);
+  std::printf("  %-22s %14.1f %14.1fs %16.1fs\n", "FUSE (25 groups of 4)", fuse_r.msgs_per_sec,
+              fuse_r.detect_s, fuse_r.everyone_s);
+
+  std::printf("\nsemantic difference (section 2):\n");
+  std::printf("  SWIM answers \"is node X up?\" system-wide; under an intransitive failure it\n");
+  std::printf("  must pick one of three bad options (declare a reachable node dead, leave the\n");
+  std::printf("  pair stuck, or expose inconsistency). FUSE scopes failure to the *group*:\n");
+  std::printf("  only groups whose communication actually broke are signalled — demonstrated\n");
+  std::printf("  in tests/fuse_test.cc (FuseIntransitiveTest) and\n");
+  std::printf("  tests/membership_test.cc (IntransitiveFailureForcesBadChoice).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 6: RPC latency calibration.
+//
+// 2400 RPC exchanges between random node pairs. On the "cluster" (connection
+// setup + messaging overheads) the first RPC between a pair pays TCP connect;
+// the second travels a cached connection and should closely track the
+// "simulator" (no setup, no overheads) — the paper's validation that both of
+// its platforms model the same Mercator topology.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/network.h"
+#include "rpc/rpc.h"
+#include "sim/simulation.h"
+#include "transport/tcp_model.h"
+
+namespace fuse {
+namespace {
+
+struct RpcRun {
+  Summary first_ms;
+  Summary second_ms;
+};
+
+RpcRun RunRpcs(CostModel cost, uint64_t seed, int pairs, bool back_to_back) {
+  Simulation sim(seed);
+  SimNetwork net{Topology::Generate(TopologyConfig{}, sim.rng())};
+  SimFabric fabric(sim, net, cost);
+  const int n = 400;
+  std::vector<HostId> hosts;
+  std::vector<std::unique_ptr<RpcNode>> rpc;
+  for (int i = 0; i < n; ++i) {
+    hosts.push_back(net.AddHost(sim.rng()));
+  }
+  for (int i = 0; i < n; ++i) {
+    rpc.push_back(std::make_unique<RpcNode>(fabric.TransportFor(hosts[i])));
+    rpc.back()->Handle(1, [](HostId, const std::vector<uint8_t>& req) { return req; });
+  }
+
+  RpcRun out;
+  for (int k = 0; k < pairs; ++k) {
+    const size_t a = static_cast<size_t>(sim.rng().UniformInt(0, n - 1));
+    size_t b = a;
+    while (b == a) {
+      b = static_cast<size_t>(sim.rng().UniformInt(0, n - 1));
+    }
+    for (int round = 0; round < (back_to_back ? 2 : 1); ++round) {
+      bool done = false;
+      const TimePoint t0 = sim.Now();
+      TimePoint t1 = t0;
+      rpc[a]->Call(hosts[b], 1, {1, 2, 3, 4}, Duration::Minutes(1),
+                   [&](const Status& s, const std::vector<uint8_t>&) {
+                     if (s.ok()) {
+                       t1 = sim.Now();
+                     }
+                     done = true;
+                   });
+      sim.RunUntilCondition([&] { return done; }, sim.Now() + Duration::Minutes(2));
+      const double ms = (t1 - t0).ToMillisF();
+      if (ms > 0) {
+        (round == 0 ? out.first_ms : out.second_ms).Add(ms);
+      }
+      // New pairs must not reuse stale clock alignment; small gap.
+      sim.RunFor(Duration::Millis(50));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace fuse
+
+int main() {
+  using namespace fuse;
+  using namespace fuse::bench;
+  Header("Figure 6: RPC latency CDFs (cluster 1st / cluster 2nd / simulator)",
+         "paper section 7.2, Figure 6");
+
+  const int kPairs = 1200;  // 2400 RPCs on the cluster (two per pair)
+  RpcRun cluster = RunRpcs(CostModel::Cluster(), 6001, kPairs, /*back_to_back=*/true);
+  RpcRun simulator = RunRpcs(CostModel::Simulator(), 6001, kPairs, /*back_to_back=*/false);
+
+  std::printf("\nRPC time in milliseconds:\n");
+  PrintPercentileRow("1st cluster RPC", cluster.first_ms);
+  PrintPercentileRow("2nd cluster RPC", cluster.second_ms);
+  PrintPercentileRow("simulator RPC", simulator.first_ms);
+
+  std::printf("\nCDF (fraction of samples at or below each latency):\n");
+  std::printf("  %10s %12s %12s %12s\n", "ms", "1st-cluster", "2nd-cluster", "simulator");
+  for (double ms : {50.0, 100.0, 130.0, 160.0, 200.0, 300.0, 500.0, 1000.0, 2000.0}) {
+    std::printf("  %10.0f %12.3f %12.3f %12.3f\n", ms, cluster.first_ms.FractionAtMost(ms),
+                cluster.second_ms.FractionAtMost(ms), simulator.first_ms.FractionAtMost(ms));
+  }
+
+  const double ratio = cluster.first_ms.Median() / simulator.first_ms.Median();
+  std::printf("\nshape checks (paper expectations):\n");
+  std::printf("  median simulator RPC            : %7.1f ms   (paper: ~130 ms)\n",
+              simulator.first_ms.Median());
+  std::printf("  2nd-cluster tracks simulator    : %7.1f vs %.1f ms\n",
+              cluster.second_ms.Median(), simulator.first_ms.Median());
+  std::printf("  1st-cluster / simulator median  : %7.2fx      (paper: ~2x, connect cost)\n",
+              ratio);
+  return 0;
+}

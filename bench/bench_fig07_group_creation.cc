@@ -1,0 +1,69 @@
+// Figure 7: latency of FUSE group creation vs. group size.
+//
+// 20 groups of each size in {2,4,8,16,32}, members uniformly distributed;
+// blocking create (the callback fires once every member replied). The paper
+// reports growing percentiles with size (more members => higher chance of a
+// slow path) and simulator times about half the cluster times (no TCP
+// connection setup).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::map<int, fuse::Summary> RunCreation(bool cluster_mode, uint64_t seed) {
+  using namespace fuse;
+  using namespace fuse::bench;
+  SimCluster cluster(PaperClusterConfig(seed, cluster_mode));
+  cluster.Build();
+  std::map<int, Summary> by_size;
+  for (const int size : {2, 4, 8, 16, 32}) {
+    for (int g = 0; g < 20; ++g) {
+      const auto members = cluster.PickLiveNodes(static_cast<size_t>(size));
+      Status status;
+      double ms = 0;
+      CreateGroupTimed(cluster, members[0], members, &status, &ms);
+      if (status.ok()) {
+        by_size[size].Add(ms);
+      }
+      cluster.sim().RunFor(Duration::Seconds(2));
+    }
+  }
+  return by_size;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fuse;
+  using namespace fuse::bench;
+  Header("Figure 7: latency of group creation (ms) by group size", "paper section 7.3, Figure 7");
+
+  auto cluster_runs = RunCreation(/*cluster_mode=*/true, 7001);
+  auto sim_runs = RunCreation(/*cluster_mode=*/false, 7001);
+
+  std::printf("\ncluster mode (connection setup + messaging overheads):\n");
+  for (auto& [size, s] : cluster_runs) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "group size %d", size);
+    PrintPercentileRow(label, s);
+  }
+  std::printf("\nsimulator mode:\n");
+  for (auto& [size, s] : sim_runs) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "group size %d", size);
+    PrintPercentileRow(label, s);
+  }
+
+  std::printf("\nshape checks (paper expectations):\n");
+  std::printf("  creation latency grows with size : size-32 p50 / size-2 p50 = %.2fx (>1)\n",
+              cluster_runs[32].Median() / cluster_runs[2].Median());
+  std::printf("  simulator ~ half of cluster      : cluster p50 / simulator p50 @8 = %.2fx "
+              "(paper: ~2x)\n",
+              cluster_runs[8].Median() / sim_runs[8].Median());
+  std::printf("  cluster size-32 p50              : %.0f ms (paper: ~2000-2500 ms)\n",
+              cluster_runs[32].Median());
+  return 0;
+}

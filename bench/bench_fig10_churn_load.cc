@@ -1,0 +1,118 @@
+// Figure 10 (plus the section 7.5 steady-state result): network message load
+// without churn, with churn, and with churn plus FUSE groups.
+//
+// Paper numbers: a stable 300-node overlay generates 238 msg/s; a churning
+// 400-node overlay (avg 300 live, 30-minute half-life) 270 msg/s (+13%); the
+// same churn with 100 10-member FUSE groups 523 msg/s (+94% over churn). And
+// with no churn, 400 FUSE groups of 10 add *no* messages over the overlay
+// baseline (337 vs 338 msg/s) — liveness is piggybacked.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+double MeasureRate(fuse::SimCluster& cluster, fuse::Duration window) {
+  const auto w = cluster.sim().metrics().BeginWindow(cluster.sim().Now());
+  cluster.sim().RunFor(window);
+  return cluster.sim().metrics().MessagesPerSecond(w, cluster.sim().Now());
+}
+
+}  // namespace
+
+int main() {
+  using namespace fuse;
+  using namespace fuse::bench;
+  Header("Figure 10 / section 7.5: steady-state load and overlay churn",
+         "paper section 7.5, Figure 10");
+  const Duration kWindow = Duration::Minutes(10);
+
+  // --- Part 1 (section 7.5): no churn, FUSE groups are free. ---
+  double no_groups_rate = 0, with_groups_rate = 0;
+  double avg_neighbors = 0;
+  {
+    SimCluster cluster(PaperClusterConfig(10001, /*cluster_mode=*/true));
+    cluster.Build();
+    cluster.sim().RunFor(Duration::Minutes(3));
+    avg_neighbors = cluster.AvgDistinctNeighbors();
+    no_groups_rate = MeasureRate(cluster, kWindow);
+    for (int g = 0; g < 400; ++g) {
+      const auto members = cluster.PickLiveNodes(10);
+      Status status;
+      CreateGroupTimed(cluster, members[0], members, &status, nullptr);
+    }
+    cluster.sim().RunFor(Duration::Minutes(2));
+    with_groups_rate = MeasureRate(cluster, kWindow);
+  }
+
+  // --- Part 2 (Figure 10): churn costs. ---
+  // Stable 300-node overlay.
+  double stable300 = 0;
+  {
+    ClusterConfig cfg = PaperClusterConfig(10002, true);
+    cfg.num_nodes = 300;
+    SimCluster cluster(cfg);
+    cluster.Build();
+    cluster.sim().RunFor(Duration::Minutes(3));
+    stable300 = MeasureRate(cluster, kWindow);
+  }
+  // Churning 400-node overlay: 200 stable + 200 churning, ~100 alive on
+  // average (mean uptime == mean downtime), median lifetime ~30 min.
+  const Duration kChurnMean = Duration::SecondsF(30.0 * 60.0 / 0.6931);
+  double churn_rate = 0;
+  {
+    SimCluster cluster(PaperClusterConfig(10003, true));
+    cluster.Build();
+    cluster.StartChurn(200, 200, kChurnMean, kChurnMean);
+    cluster.sim().RunFor(Duration::Minutes(20));  // let the population settle
+    churn_rate = MeasureRate(cluster, kWindow);
+    cluster.StopChurn();
+  }
+  // Churn plus 100 FUSE groups of 10 on the stable nodes.
+  double churn_fuse_rate = 0;
+  {
+    SimCluster cluster(PaperClusterConfig(10004, true));
+    cluster.Build();
+    for (int g = 0; g < 100; ++g) {
+      std::vector<size_t> members;
+      while (members.size() < 10) {
+        const size_t m = static_cast<size_t>(cluster.sim().rng().UniformInt(0, 199));
+        bool dup = false;
+        for (size_t e : members) {
+          dup = dup || e == m;
+        }
+        if (!dup) {
+          members.push_back(m);
+        }
+      }
+      Status status;
+      CreateGroupTimed(cluster, members[0], members, &status, nullptr);
+    }
+    cluster.StartChurn(200, 200, kChurnMean, kChurnMean);
+    cluster.sim().RunFor(Duration::Minutes(20));
+    churn_fuse_rate = MeasureRate(cluster, kWindow);
+    cluster.StopChurn();
+  }
+
+  std::printf("\n400-node overlay, avg distinct neighbors/node: %.1f (paper: 32.3)\n",
+              avg_neighbors);
+  std::printf("\nsection 7.5 — steady state, no churn (msgs/sec over 10 min):\n");
+  std::printf("  %-34s %8.1f   (paper: 337)\n", "overlay only (400 nodes)", no_groups_rate);
+  std::printf("  %-34s %8.1f   (paper: 338)\n", "with 400 FUSE groups of 10", with_groups_rate);
+  std::printf("  FUSE group overhead: %+.1f msg/s (%.2f%%) — piggybacked liveness\n",
+              with_groups_rate - no_groups_rate,
+              100.0 * (with_groups_rate - no_groups_rate) / no_groups_rate);
+
+  std::printf("\nFigure 10 — churn costs (msgs/sec over 10 min):\n");
+  std::printf("  %-34s %8.1f   (paper: 238)\n", "no churn (300 stable nodes)", stable300);
+  std::printf("  %-34s %8.1f   (paper: 270, +13%%)\n", "with churn (avg ~300 live)", churn_rate);
+  std::printf("  %-34s %8.1f   (paper: 523, +94%%)\n", "churn + 100 FUSE groups of 10",
+              churn_fuse_rate);
+  std::printf("\nshape checks (paper expectations):\n");
+  std::printf("  churn premium over stable        : %+.0f%% (paper: +13%%)\n",
+              100.0 * (churn_rate - stable300) / stable300);
+  std::printf("  FUSE-under-churn premium         : %+.0f%% (paper: +94%%)\n",
+              100.0 * (churn_fuse_rate - churn_rate) / churn_rate);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 11: CDFs of per-route packet loss for three per-link loss rates.
+//
+// With per-link loss p and an h-hop route, per-route loss is 1-(1-p)^h.
+// The paper's topology has routes of 2-43 hops (median 15), so per-link
+// rates of 0.4%/0.8%/1.6% give median per-route rates of ~5.8%/11.4%/21.5%.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/network.h"
+
+int main() {
+  using namespace fuse;
+  using namespace fuse::bench;
+  Header("Figure 11: per-route loss CDFs for per-link loss rates",
+         "paper section 7.6, Figure 11");
+
+  Rng rng(11001);
+  SimNetwork net{Topology::Generate(TopologyConfig{}, rng)};
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 400; ++i) {
+    hosts.push_back(net.AddHost(rng));
+  }
+
+  Summary hops;
+  std::vector<std::pair<HostId, HostId>> routes;
+  for (int i = 0; i < 4000; ++i) {
+    const HostId a = hosts[rng.UniformInt(0, 399)];
+    const HostId b = hosts[rng.UniformInt(0, 399)];
+    if (a == b) {
+      continue;
+    }
+    routes.emplace_back(a, b);
+    hops.Add(net.GetPath(a, b).hops);
+  }
+
+  std::printf("\nroute hop counts: min=%.0f p50=%.0f max=%.0f (paper: 2..43, median 15)\n",
+              hops.Min(), hops.Median(), hops.Max());
+
+  const double link_rates[] = {0.004, 0.008, 0.016};
+  std::vector<Summary> route_loss(3);
+  for (int k = 0; k < 3; ++k) {
+    net.SetPerLinkLossRate(link_rates[k]);
+    for (const auto& [a, b] : routes) {
+      route_loss[k].Add(100.0 * (1.0 - net.RouteSuccessProbability(a, b)));
+    }
+  }
+
+  std::printf("\nCDF of per-route loss rate (%%):\n");
+  std::printf("  %10s %14s %14s %14s\n", "loss <= %", "link 0.4%", "link 0.8%", "link 1.6%");
+  for (double pct : {2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0}) {
+    std::printf("  %10.0f %14.3f %14.3f %14.3f\n", pct, route_loss[0].FractionAtMost(pct),
+                route_loss[1].FractionAtMost(pct), route_loss[2].FractionAtMost(pct));
+  }
+
+  std::printf("\nmedian per-route loss rates:\n");
+  std::printf("  per-link 0.4%% -> %5.1f%%   (paper: 5.8%%)\n", route_loss[0].Median());
+  std::printf("  per-link 0.8%% -> %5.1f%%   (paper: 11.4%%)\n", route_loss[1].Median());
+  std::printf("  per-link 1.6%% -> %5.1f%%   (paper: 21.5%%)\n", route_loss[2].Median());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 12: FUSE group failures (false positives) caused by packet loss.
+//
+// 20 groups of each size in {2,4,8,16,32}; loss is then enabled and the
+// system runs for 30 minutes. The paper observed no failures at 0% and at
+// 5.8% median route loss (TCP retransmission masks them) and growing failure
+// fractions — increasing with group size — at 11.4% and 21.5%, where TCP
+// connections themselves start to break.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::map<int, std::pair<int, int>> RunLoss(double per_link_loss, uint64_t seed) {
+  using namespace fuse;
+  using namespace fuse::bench;
+  SimCluster cluster(PaperClusterConfig(seed, /*cluster_mode=*/true));
+  cluster.Build();
+
+  std::map<int, std::pair<int, int>> failed_total;  // size -> (failed, total)
+  struct Watch {
+    int size;
+    bool failed = false;
+  };
+  std::vector<std::unique_ptr<Watch>> watches;
+  for (const int size : {2, 4, 8, 16, 32}) {
+    for (int g = 0; g < 20; ++g) {
+      const auto members = cluster.PickLiveNodes(static_cast<size_t>(size));
+      Status status;
+      const FuseId id = CreateGroupTimed(cluster, members[0], members, &status, nullptr);
+      if (!status.ok()) {
+        continue;
+      }
+      failed_total[size].second++;
+      watches.push_back(std::make_unique<Watch>());
+      Watch* w = watches.back().get();
+      w->size = size;
+      cluster.node(members[0]).fuse()->RegisterFailureHandler(id, [w](FuseId) {
+        w->failed = true;
+      });
+    }
+  }
+  cluster.sim().RunFor(Duration::Minutes(2));  // settle before enabling loss
+  cluster.net().SetPerLinkLossRate(per_link_loss);
+  cluster.sim().RunFor(Duration::Minutes(30));
+  for (const auto& w : watches) {
+    if (w->failed) {
+      failed_total[w->size].first++;
+    }
+  }
+  return failed_total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fuse;
+  using namespace fuse::bench;
+  Header("Figure 12: group failures due to packet loss (30 minutes)",
+         "paper section 7.6, Figure 12");
+
+  const struct {
+    double link_loss;
+    const char* median_route;
+  } kRates[] = {{0.0, "0%"}, {0.004, "5.8%"}, {0.008, "11.4%"}, {0.016, "21.5%"}};
+
+  std::map<double, std::map<int, std::pair<int, int>>> results;
+  for (const auto& r : kRates) {
+    results[r.link_loss] = RunLoss(r.link_loss, 12001);
+  }
+
+  std::printf("\n%% of groups failed within 30 minutes:\n");
+  std::printf("  %10s", "size");
+  for (const auto& r : kRates) {
+    std::printf(" %13s", r.median_route);
+  }
+  std::printf("\n");
+  for (const int size : {2, 4, 8, 16, 32}) {
+    std::printf("  %10d", size);
+    for (const auto& r : kRates) {
+      const auto [failed, total] = results[r.link_loss][size];
+      std::printf(" %12.0f%%", total == 0 ? 0.0 : 100.0 * failed / total);
+    }
+    std::printf("\n");
+  }
+
+  int low_loss_failures = 0;
+  int high_loss_failures = 0;
+  for (const int size : {2, 4, 8, 16, 32}) {
+    low_loss_failures += results[0.0][size].first + results[0.004][size].first;
+    high_loss_failures += results[0.016][size].first;
+  }
+  std::printf("\nshape checks (paper expectations):\n");
+  std::printf("  no failures at 0%% / 5.8%% loss   : %s (%d failures)\n",
+              low_loss_failures == 0 ? "yes" : "NO", low_loss_failures);
+  std::printf("  failures at 21.5%% loss          : %d groups (paper: many, growing with size)\n",
+              high_loss_failures);
+  return 0;
+}

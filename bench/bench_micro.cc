@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the substrate:
+// SHA-1 piggyback hashing, event-queue throughput, greedy next-hop selection,
+// topology path queries, and the deterministic RNG.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/sha1.h"
+#include "net/topology.h"
+#include "overlay/routing_table.h"
+#include "sim/event_queue.h"
+
+namespace fuse {
+namespace {
+
+void BM_Sha1PiggybackHash(benchmark::State& state) {
+  // Typical payload: a handful of 16-byte FUSE ids.
+  const size_t ids = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> words(ids * 2, 0x0123456789abcdefULL);
+  for (auto _ : state) {
+    Sha1 h;
+    for (uint64_t w : words) {
+      h.UpdateU64(w);
+    }
+    Sha1Digest d = h.Finish();
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * ids * 16));
+}
+BENCHMARK(BM_Sha1PiggybackHash)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.ScheduleAfter(Duration::Micros(i % 97), [&sink] { ++sink; });
+    }
+    q.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_RoutingTableNextHop(benchmark::State& state) {
+  OverlayParams params;
+  RoutingTable table("node00500", params);
+  Rng rng(1);
+  for (int i = 0; i < 64; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "node%05d", static_cast<int>(rng.UniformInt(0, 999)));
+    table.OfferLeaf(NodeRef{name, HostId(static_cast<uint64_t>(i))});
+  }
+  for (int h = 1; h < 6; ++h) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "node%05d", static_cast<int>(rng.UniformInt(0, 999)));
+    table.SetLevel(h, true, NodeRef{name, HostId(static_cast<uint64_t>(100 + h))});
+  }
+  int i = 0;
+  for (auto _ : state) {
+    char dest[16];
+    std::snprintf(dest, sizeof(dest), "node%05d", (i++ * 37) % 1000);
+    auto hop = table.NextHopTowards(dest);
+    benchmark::DoNotOptimize(hop);
+  }
+}
+BENCHMARK(BM_RoutingTableNextHop);
+
+void BM_TopologyPathQuery(benchmark::State& state) {
+  Rng rng(2);
+  const Topology topo = Topology::Generate(TopologyConfig{}, rng);
+  Rng pick(3);
+  for (auto _ : state) {
+    const RouterId a = topo.RandomRouter(pick);
+    const RouterId b = topo.RandomRouter(pick);
+    auto p = topo.GetPath(a, b);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_TopologyPathQuery);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UniformInt(0, 999));
+  }
+}
+BENCHMARK(BM_RngUniformInt);
+
+}  // namespace
+}  // namespace fuse
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Shared helpers for the experiment-reproduction benches. Each bench binary
+// regenerates one table or figure from the paper's evaluation (section 7) and
+// prints the corresponding rows, plus the paper's reported values for
+// comparison. Absolute numbers differ (our substrate is a calibrated
+// simulator, not the authors' ModelNet cluster); the shapes are the result.
+#ifndef FUSE_BENCH_BENCH_UTIL_H_
+#define FUSE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "runtime/sim_cluster.h"
+
+namespace fuse {
+namespace bench {
+
+inline ClusterConfig PaperClusterConfig(uint64_t seed, bool cluster_mode) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 400;
+  cfg.seed = seed;
+  // The paper's live testbed: 400 virtual nodes, 10 per physical machine.
+  cfg.hosts_per_machine = cluster_mode ? 10 : 1;
+  cfg.cost = cluster_mode ? CostModel::Cluster() : CostModel::Simulator();
+  return cfg;
+}
+
+inline void Header(const std::string& title, const std::string& paper_ref) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("=====================================================================\n");
+}
+
+inline void PrintPercentileRow(const char* label, const Summary& s) {
+  std::printf("  %-22s n=%-4zu p25=%9.1f  p50=%9.1f  p75=%9.1f  max=%9.1f\n", label, s.Count(),
+              s.Percentile(25), s.Percentile(50), s.Percentile(75), s.Max());
+}
+
+// Synchronous group creation helper; returns latency via *latency_ms.
+inline FuseId CreateGroupTimed(SimCluster& cluster, size_t root,
+                               const std::vector<size_t>& members, Status* status_out,
+                               double* latency_ms) {
+  FuseId id;
+  bool done = false;
+  Status status;
+  const TimePoint t0 = cluster.sim().Now();
+  TimePoint t1 = t0;
+  cluster.node(root).fuse()->CreateGroup(cluster.RefsOf(members),
+                                         [&](const Status& s, FuseId gid) {
+                                           status = s;
+                                           id = gid;
+                                           t1 = cluster.sim().Now();
+                                           done = true;
+                                         });
+  cluster.sim().RunUntilCondition([&] { return done; },
+                                  cluster.sim().Now() + Duration::Minutes(3));
+  if (status_out != nullptr) {
+    *status_out = status;
+  }
+  if (latency_ms != nullptr) {
+    *latency_ms = (t1 - t0).ToMillisF();
+  }
+  return id;
+}
+
+}  // namespace bench
+}  // namespace fuse
+
+#endif  // FUSE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// Quickstart: the FUSE API in five minutes.
+//
+// Builds a small simulated deployment, creates a FUSE group, registers
+// failure handlers, and demonstrates the core guarantee: when anything
+// breaks — here, a member crash — every live member hears exactly one
+// failure notification.
+//
+// Run: ./build/examples/quickstart
+#include <cstdio>
+
+#include "runtime/sim_cluster.h"
+
+using namespace fuse;
+
+int main() {
+  std::printf("== FUSE quickstart ==\n\n");
+
+  // A 32-node overlay on a simulated wide-area topology.
+  ClusterConfig config;
+  config.num_nodes = 32;
+  config.seed = 42;
+  config.cost = CostModel::Simulator();
+  SimCluster cluster(config);
+  cluster.Build();
+  std::printf("built a %zu-node SkipNet overlay (avg %.1f neighbors/node)\n\n", cluster.size(),
+              cluster.AvgDistinctNeighbors());
+
+  // 1. Create a FUSE group spanning nodes {3, 11, 17, 26}; node 3 is the
+  //    creator ("root"). CreateGroup has blocking semantics: the callback
+  //    fires only after every member was contacted.
+  const std::vector<size_t> members{3, 11, 17, 26};
+  FuseId group_id;
+  cluster.node(3).fuse()->CreateGroup(cluster.RefsOf(members),
+                                      [&](const Status& status, FuseId id) {
+                                        std::printf("CreateGroup -> %s, id=%s\n",
+                                                    status.ToString().c_str(),
+                                                    id.ToString().c_str());
+                                        group_id = id;
+                                      });
+  cluster.sim().RunUntilCondition([&] { return group_id.valid(); },
+                                  cluster.sim().Now() + Duration::Minutes(1));
+
+  // 2. The application distributes the FUSE id to the group (here we just
+  //    hand it over) and every member registers a failure handler.
+  for (size_t m : members) {
+    cluster.node(m).fuse()->RegisterFailureHandler(group_id, [m, &cluster](FuseId id) {
+      std::printf("  [node %2zu] FAILURE notification for %s at t=%.1fs\n", m,
+                  id.ToString().c_str(), cluster.sim().Now().ToSecondsF());
+    });
+  }
+  std::printf("\nall members registered handlers; group is being monitored by the overlay's\n");
+  std::printf("existing ping traffic (a 20-byte SHA-1 piggyback; zero extra messages).\n\n");
+
+  // 3. Kill a member. The liveness checking tree notices, repair fails
+  //    (the member is really gone), and everyone gets notified.
+  std::printf("crashing node 17 at t=%.1fs ...\n", cluster.sim().Now().ToSecondsF());
+  cluster.Crash(17);
+  cluster.sim().RunFor(Duration::Minutes(5));
+
+  // 4. The group is gone everywhere; a late registration on the dead id
+  //    fires immediately — no orphaned state, ever.
+  std::printf("\nregistering on the dead id (late registration fires immediately):\n");
+  cluster.node(11).fuse()->RegisterFailureHandler(group_id, [](FuseId) {
+    std::printf("  [node 11] immediate callback for a dead id\n");
+  });
+  cluster.sim().RunFor(Duration::Seconds(1));
+
+  std::printf("\ndone: failure notifications never fail.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Strong integer identifier types used throughout the library.
+//
+// Each subsystem gets its own incompatible ID type so that a HostId can never
+// be passed where a TimerId is expected. IDs are cheap value types (one
+// uint64_t) and hashable for use in unordered containers.
+#ifndef FUSE_COMMON_IDS_H_
+#define FUSE_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fuse {
+
+// CRTP-free strong typedef over uint64_t. `Tag` only disambiguates types.
+template <typename Tag>
+struct StrongId {
+  uint64_t value = kInvalidValue;
+
+  static constexpr uint64_t kInvalidValue = ~uint64_t{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(uint64_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalidValue; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value == b.value; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value != b.value; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value < b.value; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value > b.value; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value <= b.value; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value >= b.value; }
+
+  std::string ToString() const {
+    return valid() ? std::to_string(value) : std::string("<invalid>");
+  }
+};
+
+// A host is one simulated (or live) process: it runs one overlay node and one
+// FUSE layer. Equivalent to a "virtual node" in the paper's cluster.
+using HostId = StrongId<struct HostIdTag>;
+
+// A router in the underlying (Mercator-like) physical topology.
+using RouterId = StrongId<struct RouterIdTag>;
+
+// An autonomous system in the physical topology.
+using AsId = StrongId<struct AsIdTag>;
+
+// Handle for a scheduled timer/event; used to cancel.
+using TimerId = StrongId<struct TimerIdTag>;
+
+// Correlates an RPC request with its response.
+using RpcId = StrongId<struct RpcIdTag>;
+
+// Hash functor usable with all StrongId instantiations.
+struct StrongIdHash {
+  template <typename Tag>
+  size_t operator()(StrongId<Tag> id) const {
+    // splitmix64 finalizer: good avalanche for sequential ids.
+    uint64_t x = id.value + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+// Combines a hash into a running seed (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(size_t& seed, size_t h) {
+  seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+}  // namespace fuse
+
+namespace std {
+template <typename Tag>
+struct hash<fuse::StrongId<Tag>> {
+  size_t operator()(fuse::StrongId<Tag> id) const { return fuse::StrongIdHash{}(id); }
+};
+}  // namespace std
+
+#endif  // FUSE_COMMON_IDS_H_

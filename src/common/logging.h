@@ -1,0 +1,64 @@
+// Lightweight leveled logging. Quiet by default (warnings and errors only) so
+// benchmark output stays clean; tests and examples can raise verbosity.
+#ifndef FUSE_COMMON_LOGGING_H_
+#define FUSE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fuse {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global threshold; messages below it are discarded.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// A no-op sink so disabled log statements do not evaluate their stream args.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace fuse
+
+#define FUSE_LOG_ENABLED(level) (level >= ::fuse::GetLogThreshold())
+
+#define FUSE_LOG(severity)                                                      \
+  if (!FUSE_LOG_ENABLED(::fuse::LogLevel::k##severity)) {                       \
+  } else                                                                        \
+    ::fuse::internal::LogMessage(::fuse::LogLevel::k##severity, __FILE__, __LINE__).stream()
+
+// Assertion macro used for internal invariants (active in all build modes).
+#define FUSE_CHECK(cond)                                                        \
+  if (cond) {                                                                   \
+  } else                                                                        \
+    ::fuse::internal::LogMessage(::fuse::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+        << "Check failed: " #cond " "
+
+#endif  // FUSE_COMMON_LOGGING_H_

@@ -1,0 +1,90 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace fuse {
+
+const char* MsgCategoryName(MsgCategory c) {
+  switch (c) {
+    case MsgCategory::kOverlayPing:
+      return "overlay_ping";
+    case MsgCategory::kOverlayPingReply:
+      return "overlay_ping_reply";
+    case MsgCategory::kOverlayJoin:
+      return "overlay_join";
+    case MsgCategory::kOverlayRouted:
+      return "overlay_routed";
+    case MsgCategory::kFuseCreate:
+      return "fuse_create";
+    case MsgCategory::kFuseInstallChecking:
+      return "fuse_install_checking";
+    case MsgCategory::kFuseSoftNotification:
+      return "fuse_soft_notification";
+    case MsgCategory::kFuseHardNotification:
+      return "fuse_hard_notification";
+    case MsgCategory::kFuseNeedRepair:
+      return "fuse_need_repair";
+    case MsgCategory::kFuseRepair:
+      return "fuse_repair";
+    case MsgCategory::kFuseReconcile:
+      return "fuse_reconcile";
+    case MsgCategory::kRpc:
+      return "rpc";
+    case MsgCategory::kApp:
+      return "app";
+    case MsgCategory::kTransportControl:
+      return "transport_control";
+    case MsgCategory::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+uint64_t Metrics::TotalMessages() const {
+  uint64_t total = 0;
+  for (const auto& e : counters_) {
+    total += e.messages;
+  }
+  return total;
+}
+
+uint64_t Metrics::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : counters_) {
+    total += e.bytes;
+  }
+  return total;
+}
+
+void Metrics::Reset() { counters_.fill(Entry{}); }
+
+std::string Metrics::Report() const {
+  std::string out;
+  char buf[128];
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    const auto& e = counters_[i];
+    if (e.messages == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-24s %12llu msgs %14llu bytes\n",
+                  MsgCategoryName(static_cast<MsgCategory>(i)),
+                  static_cast<unsigned long long>(e.messages),
+                  static_cast<unsigned long long>(e.bytes));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-24s %12llu msgs %14llu bytes\n", "TOTAL",
+                static_cast<unsigned long long>(TotalMessages()),
+                static_cast<unsigned long long>(TotalBytes()));
+  out += buf;
+  return out;
+}
+
+double Metrics::MessagesPerSecond(const Window& w, TimePoint now) const {
+  const double elapsed = (now - w.start_time).ToSecondsF();
+  if (elapsed <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(TotalMessages() - w.start_messages) / elapsed;
+}
+
+}  // namespace fuse

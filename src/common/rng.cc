@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace fuse {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(x);
+  }
+  // Avoid the all-zero state (cannot occur from SplitMix64, but be safe).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(NextU64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % span);
+  uint64_t r;
+  do {
+    r = NextU64();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  // Floyd's algorithm would avoid the O(n) vector, but n is small in all of
+  // our uses and this keeps the distribution obviously uniform.
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) {
+    all[i] = i;
+  }
+  Shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace fuse

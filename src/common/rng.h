@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic decision in the simulator draws from an explicitly seeded
+// Rng so whole experiments replay bit-identically. Never use std::rand or
+// std::random_device inside the library.
+#ifndef FUSE_COMMON_RNG_H_
+#define FUSE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fuse {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform integer in the closed range [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // True with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // k distinct indices drawn uniformly from [0, n). Requires k <= n.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  // A child generator whose stream is independent of (but determined by) this
+  // one. Useful for giving each node its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_COMMON_RNG_H_

@@ -1,0 +1,92 @@
+#include "common/serialize.h"
+
+namespace fuse {
+
+void Writer::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v >> 8));
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void Writer::PutU32(uint32_t v) {
+  PutU16(static_cast<uint16_t>(v >> 16));
+  PutU16(static_cast<uint16_t>(v));
+}
+
+void Writer::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v));
+}
+
+void Writer::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+void Writer::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(s.data(), s.size());
+}
+
+bool Reader::Ensure(size_t n) {
+  if (!ok_ || len_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::GetU8() {
+  if (!Ensure(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t Reader::GetU16() {
+  const uint16_t hi = GetU8();
+  return static_cast<uint16_t>((hi << 8) | GetU8());
+}
+
+uint32_t Reader::GetU32() {
+  const uint32_t hi = GetU16();
+  return (hi << 16) | GetU16();
+}
+
+uint64_t Reader::GetU64() {
+  const uint64_t hi = GetU32();
+  return (hi << 32) | GetU32();
+}
+
+double Reader::GetDouble() {
+  const uint64_t bits = GetU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::string Reader::GetString() {
+  const uint32_t n = GetU32();
+  if (!Ensure(n)) {
+    return "";
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void Reader::GetBytes(void* out, size_t len) {
+  if (!Ensure(len)) {
+    std::memset(out, 0, len);
+    return;
+  }
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+}
+
+}  // namespace fuse

@@ -1,0 +1,69 @@
+// Bounds-checked binary serialization for wire messages.
+//
+// All protocol messages (overlay and FUSE) serialize through these classes so
+// that message sizes counted by the metrics layer reflect real encodings, and
+// so the live runtime can move bytes between threads exactly as the simulator
+// moves them between hosts.
+#ifndef FUSE_COMMON_SERIALIZE_H_
+#define FUSE_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fuse {
+
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutBytes(const void* data, size_t len);
+  // Length-prefixed (u32) string.
+  void PutString(std::string_view s);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit Reader(const std::vector<uint8_t>& v) : Reader(v.data(), v.size()) {}
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  double GetDouble();
+  std::string GetString();
+  void GetBytes(void* out, size_t len);
+
+  // True iff no read has run past the end so far.
+  bool ok() const { return ok_; }
+  // True iff all bytes were consumed and no error occurred.
+  bool Done() const { return ok_ && pos_ == len_; }
+  size_t remaining() const { return ok_ ? len_ - pos_ : 0; }
+
+ private:
+  bool Ensure(size_t n);
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_COMMON_SERIALIZE_H_

@@ -1,0 +1,49 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// FUSE piggybacks a 20-byte SHA-1 digest of the per-link FUSE-ID list on
+// overlay ping traffic (paper section 6.1). SHA-1 is used here exactly as in
+// the paper: as a compact set fingerprint, not for security.
+#ifndef FUSE_COMMON_SHA1_H_
+#define FUSE_COMMON_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace fuse {
+
+using Sha1Digest = std::array<uint8_t, 20>;
+
+class Sha1 {
+ public:
+  Sha1();
+
+  // Streams `len` bytes into the hash state.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+  void UpdateU64(uint64_t v);
+
+  // Finalizes and returns the digest. The object must not be reused after.
+  Sha1Digest Finish();
+
+  // One-shot convenience.
+  static Sha1Digest Hash(const void* data, size_t len);
+  static Sha1Digest Hash(std::string_view s) { return Hash(s.data(), s.size()); }
+
+  // Lowercase hex rendering of a digest.
+  static std::string ToHex(const Sha1Digest& d);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_COMMON_SHA1_H_

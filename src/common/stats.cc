@@ -1,0 +1,132 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fuse {
+
+void Summary::Add(double v) {
+  values_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void Summary::Clear() {
+  values_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Summary::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double Summary::Sum() const {
+  double s = 0.0;
+  for (double v : values_) {
+    s += v;
+  }
+  return s;
+}
+
+double Summary::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Summary::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Summary::StdDev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::Percentile(double p) const {
+  EnsureSorted();
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  if (p <= 0.0) {
+    return sorted_.front();
+  }
+  if (p >= 100.0) {
+    return sorted_.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) {
+    return sorted_.back();
+  }
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> Summary::Cdf(size_t points) const {
+  EnsureSorted();
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) {
+    return out;
+  }
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    const size_t idx =
+        std::min(sorted_.size() - 1,
+                 static_cast<size_t>(frac * static_cast<double>(sorted_.size())) -
+                     (i == points ? 1 : 0));
+    out.emplace_back(sorted_[std::min(idx, sorted_.size() - 1)], frac);
+  }
+  return out;
+}
+
+double Summary::FractionAtMost(double threshold) const {
+  EnsureSorted();
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::string Summary::OneLine() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.2f p25=%.2f p50=%.2f p75=%.2f p95=%.2f max=%.2f mean=%.2f", Count(),
+                Min(), Percentile(25), Percentile(50), Percentile(75), Percentile(95), Max(),
+                Mean());
+  return buf;
+}
+
+std::string RenderCdf(const Summary& s, size_t points, const std::string& value_label,
+                      double value_scale) {
+  std::string out = "  " + value_label + "  cum_fraction\n";
+  char buf[96];
+  for (const auto& [value, frac] : s.Cdf(points)) {
+    std::snprintf(buf, sizeof(buf), "  %12.3f  %6.3f\n", value * value_scale, frac);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fuse

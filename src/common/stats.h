@@ -1,0 +1,56 @@
+// Descriptive statistics helpers used by benches and EXPERIMENTS reporting:
+// percentile summaries and CDF extraction, matching the presentation style of
+// the paper's figures (25th/median/75th bars, latency CDFs).
+#ifndef FUSE_COMMON_STATS_H_
+#define FUSE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fuse {
+
+// Collects samples; answers order statistics. Sorting is lazy.
+class Summary {
+ public:
+  void Add(double v);
+  void Clear();
+
+  size_t Count() const { return values_.size(); }
+  bool Empty() const { return values_.empty(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+  double StdDev() const;
+
+  // Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // Evenly spaced CDF points: `points` pairs of (value, cumulative fraction).
+  std::vector<std::pair<double, double>> Cdf(size_t points) const;
+
+  // For each threshold, the fraction of samples <= threshold.
+  double FractionAtMost(double threshold) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+  // "n=20 p25=... p50=... p75=... max=..." one-line rendering.
+  std::string OneLine() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Renders a CDF as aligned text rows "value fraction" for bench output.
+std::string RenderCdf(const Summary& s, size_t points, const std::string& value_label,
+                      double value_scale = 1.0);
+
+}  // namespace fuse
+
+#endif  // FUSE_COMMON_STATS_H_

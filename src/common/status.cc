@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace fuse {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kUnreachable:
+      return "UNREACHABLE";
+    case StatusCode::kBroken:
+      return "BROKEN";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace fuse

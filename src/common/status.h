@@ -1,0 +1,62 @@
+// Minimal Status / Result types. The library does not use exceptions;
+// operations that can fail return Status (or deliver one via callback).
+#ifndef FUSE_COMMON_STATUS_H_
+#define FUSE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fuse {
+
+enum class StatusCode {
+  kOk = 0,
+  kTimeout,          // operation did not finish within its deadline
+  kUnreachable,      // destination cannot be contacted (fault rules / crash)
+  kBroken,           // transport connection broke mid-operation
+  kCancelled,        // caller or shutdown cancelled the operation
+  kNotFound,         // referenced entity does not exist (e.g. dead FUSE id)
+  kAlreadyExists,    // duplicate creation
+  kInvalidArgument,  // caller error
+  kFailed,           // generic failure
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Timeout(std::string m = "") { return Status(StatusCode::kTimeout, std::move(m)); }
+  static Status Unreachable(std::string m = "") {
+    return Status(StatusCode::kUnreachable, std::move(m));
+  }
+  static Status Broken(std::string m = "") { return Status(StatusCode::kBroken, std::move(m)); }
+  static Status Cancelled(std::string m = "") {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status NotFound(std::string m = "") { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status InvalidArgument(std::string m = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Failed(std::string m = "") { return Status(StatusCode::kFailed, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+  friend bool operator!=(const Status& a, const Status& b) { return a.code_ != b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_COMMON_STATUS_H_

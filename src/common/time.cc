@@ -1,0 +1,26 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace fuse {
+
+std::string Duration::ToString() const {
+  char buf[48];
+  const int64_t us = us_;
+  if (us % 1000000 == 0 && (us >= 1000000 || us <= -1000000)) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(us / 1000000));
+  } else if (us % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(us / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", ToSecondsF());
+  return buf;
+}
+
+}  // namespace fuse

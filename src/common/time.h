@@ -1,0 +1,106 @@
+// Simulation time: explicit Duration / TimePoint value types with microsecond
+// resolution. Distinct from std::chrono so that simulated time can never be
+// accidentally mixed with wall-clock time; the live runtime converts at its
+// boundary.
+#ifndef FUSE_COMMON_TIME_H_
+#define FUSE_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fuse {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000000); }
+  static constexpr Duration Minutes(int64_t m) { return Duration(m * 60000000); }
+  static constexpr Duration SecondsF(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration MillisF(double ms) {
+    return Duration(static_cast<int64_t>(ms * 1e3));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t ToMicros() const { return us_; }
+  constexpr double ToMillisF() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double ToSecondsF() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr bool IsZero() const { return us_ == 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.us_ + b.us_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.us_ - b.us_); }
+  friend constexpr Duration operator*(Duration a, int64_t k) { return Duration(a.us_ * k); }
+  friend constexpr Duration operator*(int64_t k, Duration a) { return Duration(a.us_ * k); }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration(static_cast<int64_t>(static_cast<double>(a.us_) * k));
+  }
+  friend constexpr Duration operator/(Duration a, int64_t k) { return Duration(a.us_ / k); }
+  constexpr Duration& operator+=(Duration b) {
+    us_ += b.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration b) {
+    us_ -= b.us_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Duration a, Duration b) { return a.us_ == b.us_; }
+  friend constexpr bool operator!=(Duration a, Duration b) { return a.us_ != b.us_; }
+  friend constexpr bool operator<(Duration a, Duration b) { return a.us_ < b.us_; }
+  friend constexpr bool operator>(Duration a, Duration b) { return a.us_ > b.us_; }
+  friend constexpr bool operator<=(Duration a, Duration b) { return a.us_ <= b.us_; }
+  friend constexpr bool operator>=(Duration a, Duration b) { return a.us_ >= b.us_; }
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit Duration(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromMicros(int64_t us) { return TimePoint(us); }
+  static constexpr TimePoint Zero() { return TimePoint(0); }
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr int64_t ToMicros() const { return us_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double ToMillisF() const { return static_cast<double>(us_) / 1e3; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.us_ + d.ToMicros());
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.us_ - d.ToMicros());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::Micros(a.us_ - b.us_);
+  }
+
+  friend constexpr bool operator==(TimePoint a, TimePoint b) { return a.us_ == b.us_; }
+  friend constexpr bool operator!=(TimePoint a, TimePoint b) { return a.us_ != b.us_; }
+  friend constexpr bool operator<(TimePoint a, TimePoint b) { return a.us_ < b.us_; }
+  friend constexpr bool operator>(TimePoint a, TimePoint b) { return a.us_ > b.us_; }
+  friend constexpr bool operator<=(TimePoint a, TimePoint b) { return a.us_ <= b.us_; }
+  friend constexpr bool operator>=(TimePoint a, TimePoint b) { return a.us_ >= b.us_; }
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit TimePoint(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_COMMON_TIME_H_

@@ -1,0 +1,479 @@
+#include "fuse/alt_topologies.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace fuse {
+namespace {
+
+// kAltCreate payload: id, member count, members.
+// kAltCreateReply payload: id, accept u8.
+// kAltPing / kAltPingReply payload: seq u64, id (zero id = central-server
+//   host-level ping).
+// kAltNotify payload: id.
+
+std::vector<uint8_t> EncodeId(const FuseId& id) {
+  Writer w;
+  WriteFuseId(w, id);
+  return w.Take();
+}
+
+}  // namespace
+
+AltFuseNode::AltFuseNode(Transport* transport, AltFuseConfig config)
+    : transport_(transport), config_(config) {
+  is_server_ = config_.topology == LivenessTopology::kCentralServer &&
+               config_.central_server == transport_->local_host();
+  transport_->RegisterHandler(msgtype::kAltCreate,
+                              [this](const WireMessage& m) { OnCreate(m); });
+  transport_->RegisterHandler(msgtype::kAltCreateReply,
+                              [this](const WireMessage& m) { OnCreateReply(m); });
+  transport_->RegisterHandler(msgtype::kAltPing, [this](const WireMessage& m) { OnPing(m); });
+  transport_->RegisterHandler(msgtype::kAltPingReply,
+                              [this](const WireMessage& m) { OnPingReply(m); });
+  transport_->RegisterHandler(msgtype::kAltNotify,
+                              [this](const WireMessage& m) { OnNotify(m); });
+}
+
+AltFuseNode::~AltFuseNode() { Shutdown(); }
+
+void AltFuseNode::Shutdown() {
+  if (shutdown_) {
+    return;
+  }
+  shutdown_ = true;
+  Environment& env = transport_->env();
+  for (auto& [id, g] : groups_) {
+    for (auto& [peer, ping] : g.pings) {
+      env.Cancel(ping.next_ping);
+      env.Cancel(ping.timeout);
+    }
+  }
+  for (auto& [id, p] : creating_) {
+    env.Cancel(p.timer);
+  }
+  for (auto& [host, timer] : server_watchdogs_) {
+    env.Cancel(timer);
+  }
+  env.Cancel(server_ping_.next_ping);
+  env.Cancel(server_ping_.timeout);
+  groups_.clear();
+  creating_.clear();
+}
+
+std::vector<HostId> AltFuseNode::PingTargets(const GroupState& g) const {
+  std::vector<HostId> targets;
+  const HostId self = transport_->local_host();
+  switch (config_.topology) {
+    case LivenessTopology::kAllToAll:
+      for (HostId m : g.members) {
+        if (m != self) {
+          targets.push_back(m);
+        }
+      }
+      break;
+    case LivenessTopology::kDirectTree: {
+      // Star rooted at the creator (members[0]): the root pings everyone,
+      // everyone pings the root. Both sides monitor each link.
+      const HostId root = g.members.front();
+      if (self == root) {
+        for (HostId m : g.members) {
+          if (m != self) {
+            targets.push_back(m);
+          }
+        }
+      } else {
+        targets.push_back(root);
+      }
+      break;
+    }
+    case LivenessTopology::kCentralServer:
+      // Host-level pinging to the server is shared across groups and managed
+      // separately (server_ping_).
+      break;
+  }
+  return targets;
+}
+
+void AltFuseNode::CreateGroup(std::vector<HostId> members, CreateCallback cb) {
+  Environment& env = transport_->env();
+  const FuseId id = FuseId::Generate(env.rng());
+  // Normalize: creator first, then the others.
+  std::vector<HostId> all;
+  all.push_back(transport_->local_host());
+  for (HostId m : members) {
+    if (m != transport_->local_host()) {
+      all.push_back(m);
+    }
+  }
+
+  CreatePending p;
+  p.members = all;
+  p.cb = std::move(cb);
+  for (HostId m : all) {
+    if (m != transport_->local_host()) {
+      p.awaiting.insert(m);
+    }
+  }
+  if (config_.topology == LivenessTopology::kCentralServer &&
+      config_.central_server != transport_->local_host()) {
+    p.awaiting.insert(config_.central_server);
+  }
+
+  Writer w;
+  WriteFuseId(w, id);
+  w.PutU32(static_cast<uint32_t>(all.size()));
+  for (HostId m : all) {
+    w.PutU64(m.value);
+  }
+  const std::vector<uint8_t> payload = w.Take();
+  std::vector<HostId> contacts(p.awaiting.begin(), p.awaiting.end());
+
+  const bool immediate = p.awaiting.empty();
+  p.timer = env.Schedule(config_.create_timeout, [this, id] {
+    const auto it = creating_.find(id);
+    if (it == creating_.end()) {
+      return;
+    }
+    CreatePending pending = std::move(it->second);
+    creating_.erase(it);
+    for (HostId m : pending.members) {
+      if (m != transport_->local_host()) {
+        WireMessage n;
+        n.to = m;
+        n.type = msgtype::kAltNotify;
+        n.category = MsgCategory::kFuseHardNotification;
+        n.payload = EncodeId(id);
+        transport_->Send(std::move(n), nullptr);
+      }
+    }
+    if (pending.cb) {
+      pending.cb(Status::Timeout("alt create"), id);
+    }
+  });
+  creating_.emplace(id, std::move(p));
+
+  for (HostId c : contacts) {
+    WireMessage msg;
+    msg.to = c;
+    msg.type = msgtype::kAltCreate;
+    msg.category = MsgCategory::kFuseCreate;
+    msg.payload = payload;
+    transport_->Send(std::move(msg), nullptr);
+  }
+  if (immediate) {
+    const auto it = creating_.find(id);
+    if (it != creating_.end()) {
+      CreatePending pending = std::move(it->second);
+      creating_.erase(it);
+      env.Cancel(pending.timer);
+      GroupState g;
+      g.id = id;
+      g.members = pending.members;
+      groups_.emplace(id, std::move(g));
+      if (pending.cb) {
+        pending.cb(Status::Ok(), id);
+      }
+    }
+  }
+}
+
+void AltFuseNode::OnCreate(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  const uint32_t n = r.GetU32();
+  std::vector<HostId> members;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    members.emplace_back(r.GetU64());
+  }
+  if (!r.ok()) {
+    return;
+  }
+  if (is_server_) {
+    // Register the group for monitoring; start watchdogs for its members.
+    for (HostId m : members) {
+      server_groups_of_[m].insert(id);
+      if (!server_watchdogs_.contains(m)) {
+        server_watchdogs_[m] = transport_->env().Schedule(
+            config_.ping_period + config_.ping_timeout, [this, m] { ServerHostDown(m); });
+      }
+    }
+    GroupState g;
+    g.id = id;
+    g.members = members;
+    groups_.emplace(id, std::move(g));
+  } else if (!groups_.contains(id)) {
+    GroupState g;
+    g.id = id;
+    g.members = members;
+    auto [it, inserted] = groups_.emplace(id, std::move(g));
+    (void)inserted;
+    StartPings(it->second);
+  }
+
+  Writer w;
+  WriteFuseId(w, id);
+  w.PutU8(1);
+  WireMessage reply;
+  reply.to = msg.from;
+  reply.type = msgtype::kAltCreateReply;
+  reply.category = MsgCategory::kFuseCreate;
+  reply.payload = w.Take();
+  transport_->Send(std::move(reply), nullptr);
+}
+
+void AltFuseNode::OnCreateReply(const WireMessage& msg) {
+  if (msg.payload.empty()) {
+    return;  // inline completion path
+  }
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  if (!r.ok()) {
+    return;
+  }
+  const auto it = creating_.find(id);
+  if (it == creating_.end()) {
+    return;
+  }
+  it->second.awaiting.erase(msg.from);
+  if (!it->second.awaiting.empty()) {
+    return;
+  }
+  CreatePending p = std::move(it->second);
+  creating_.erase(it);
+  transport_->env().Cancel(p.timer);
+  GroupState g;
+  g.id = id;
+  g.members = p.members;
+  auto [git, inserted] = groups_.emplace(id, std::move(g));
+  (void)inserted;
+  StartPings(git->second);
+  if (p.cb) {
+    p.cb(Status::Ok(), id);
+  }
+}
+
+void AltFuseNode::StartPings(GroupState& g) {
+  Environment& env = transport_->env();
+  if (config_.topology == LivenessTopology::kCentralServer) {
+    if (!server_ping_running_ && !is_server_) {
+      server_ping_running_ = true;
+      const Duration phase =
+          Duration::Micros(env.rng().UniformInt(0, config_.ping_period.ToMicros()));
+      server_ping_.next_ping =
+          env.Schedule(phase, [this] { SendPing(FuseId{}, config_.central_server); });
+    }
+    return;
+  }
+  const FuseId id = g.id;
+  for (HostId peer : PingTargets(g)) {
+    PeerPing& ping = g.pings[peer];
+    const Duration phase =
+        Duration::Micros(env.rng().UniformInt(0, config_.ping_period.ToMicros()));
+    ping.next_ping = env.Schedule(phase, [this, id, peer] { SendPing(id, peer); });
+  }
+}
+
+void AltFuseNode::SendPing(FuseId id, HostId peer) {
+  if (shutdown_) {
+    return;
+  }
+  const bool host_level = !id.valid();
+  PeerPing* ping = nullptr;
+  if (host_level) {
+    ping = &server_ping_;
+  } else {
+    GroupState* g = groups_.contains(id) ? &groups_[id] : nullptr;
+    if (g == nullptr) {
+      return;
+    }
+    ping = &g->pings[peer];
+  }
+  const uint64_t seq = next_seq_++;
+  ping->awaiting = seq;
+  Writer w;
+  w.PutU64(seq);
+  WriteFuseId(w, id);
+  WireMessage msg;
+  msg.to = peer;
+  msg.type = msgtype::kAltPing;
+  msg.category = MsgCategory::kOverlayPing;
+  msg.payload = w.Take();
+  transport_->Send(std::move(msg), [this, id, peer](const Status& s) {
+    if (!s.ok()) {
+      PingFailed(id, peer);
+    }
+  });
+  ping->timeout = transport_->env().Schedule(config_.ping_timeout,
+                                             [this, id, peer] { PingFailed(id, peer); });
+}
+
+void AltFuseNode::OnPing(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
+  const FuseId id = ReadFuseId(r);
+  if (!r.ok()) {
+    return;
+  }
+  if (is_server_) {
+    ServerNoteAlive(msg.from);
+  }
+  // Only answer pings for groups we still believe in: silence converts a
+  // dead group into the peer's failure notification (the "fuse" burning).
+  if (id.valid() && !groups_.contains(id)) {
+    return;
+  }
+  Writer w;
+  w.PutU64(seq);
+  WriteFuseId(w, id);
+  WireMessage reply;
+  reply.to = msg.from;
+  reply.type = msgtype::kAltPingReply;
+  reply.category = MsgCategory::kOverlayPingReply;
+  reply.payload = w.Take();
+  transport_->Send(std::move(reply), nullptr);
+}
+
+void AltFuseNode::OnPingReply(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
+  const FuseId id = ReadFuseId(r);
+  if (!r.ok()) {
+    return;
+  }
+  Environment& env = transport_->env();
+  if (!id.valid()) {
+    if (server_ping_.awaiting == seq) {
+      server_ping_.awaiting = 0;
+      env.Cancel(server_ping_.timeout);
+      server_ping_.next_ping = env.Schedule(
+          config_.ping_period, [this] { SendPing(FuseId{}, config_.central_server); });
+    }
+    return;
+  }
+  GroupState* g = groups_.contains(id) ? &groups_[id] : nullptr;
+  if (g == nullptr) {
+    return;
+  }
+  auto it = g->pings.find(msg.from);
+  if (it != g->pings.end() && it->second.awaiting == seq) {
+    it->second.awaiting = 0;
+    env.Cancel(it->second.timeout);
+    const HostId peer = msg.from;
+    it->second.next_ping =
+        env.Schedule(config_.ping_period, [this, id, peer] { SendPing(id, peer); });
+  }
+}
+
+void AltFuseNode::PingFailed(FuseId id, HostId peer) {
+  if (shutdown_) {
+    return;
+  }
+  if (!id.valid()) {
+    // Lost contact with the central server: conservative group failure on
+    // everything it was monitoring for us.
+    std::vector<FuseId> ids;
+    ids.reserve(groups_.size());
+    for (const auto& [gid, g] : groups_) {
+      ids.push_back(gid);
+    }
+    for (const FuseId& gid : ids) {
+      FailGroup(gid);
+    }
+    server_ping_running_ = false;
+    return;
+  }
+  (void)peer;
+  FailGroup(id);
+}
+
+void AltFuseNode::FailGroup(FuseId id) {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) {
+    return;
+  }
+  for (HostId m : it->second.members) {
+    if (m != transport_->local_host()) {
+      WireMessage msg;
+      msg.to = m;
+      msg.type = msgtype::kAltNotify;
+      msg.category = MsgCategory::kFuseHardNotification;
+      msg.payload = EncodeId(id);
+      transport_->Send(std::move(msg), nullptr);
+    }
+  }
+  DropGroup(id, /*deliver=*/true);
+}
+
+void AltFuseNode::OnNotify(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  if (!r.ok()) {
+    return;
+  }
+  DropGroup(id, /*deliver=*/true);
+}
+
+void AltFuseNode::RegisterFailureHandler(FuseId id, FailureHandler handler) {
+  const auto it = groups_.find(id);
+  if (it != groups_.end()) {
+    it->second.handler = std::move(handler);
+    return;
+  }
+  transport_->env().Schedule(Duration::Zero(), [this, id, handler = std::move(handler)] {
+    notifications_delivered_++;
+    handler(id);
+  });
+}
+
+void AltFuseNode::SignalFailure(FuseId id) { FailGroup(id); }
+
+void AltFuseNode::DropGroup(FuseId id, bool deliver) {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) {
+    return;
+  }
+  Environment& env = transport_->env();
+  for (auto& [peer, ping] : it->second.pings) {
+    env.Cancel(ping.next_ping);
+    env.Cancel(ping.timeout);
+  }
+  FailureHandler handler = std::move(it->second.handler);
+  if (is_server_) {
+    for (HostId m : it->second.members) {
+      const auto git = server_groups_of_.find(m);
+      if (git != server_groups_of_.end()) {
+        git->second.erase(id);
+      }
+    }
+  }
+  groups_.erase(it);
+  if (deliver && handler) {
+    notifications_delivered_++;
+    handler(id);
+  }
+}
+
+void AltFuseNode::ServerNoteAlive(HostId who) {
+  Environment& env = transport_->env();
+  auto& timer = server_watchdogs_[who];
+  env.Cancel(timer);
+  timer = env.Schedule(config_.ping_period + config_.ping_timeout,
+                       [this, who] { ServerHostDown(who); });
+}
+
+void AltFuseNode::ServerHostDown(HostId who) {
+  const auto it = server_groups_of_.find(who);
+  if (it == server_groups_of_.end()) {
+    return;
+  }
+  const std::vector<FuseId> ids(it->second.begin(), it->second.end());
+  for (const FuseId& id : ids) {
+    FailGroup(id);
+  }
+  server_groups_of_.erase(who);
+}
+
+}  // namespace fuse

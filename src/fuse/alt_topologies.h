@@ -1,0 +1,130 @@
+// Alternative FUSE liveness-checking topologies (paper section 5.1).
+//
+// All three provide the same distributed one-way agreement semantics as the
+// overlay implementation, with different security/scalability trade-offs:
+//  * kDirectTree    — per-group spanning tree without an overlay (a star
+//                     rooted at the creator): no delegates to attack, but
+//                     liveness traffic is additive in the number of groups;
+//  * kAllToAll      — per-group all-to-all pinging: n^2 messages per group,
+//                     but no member depends on another to forward
+//                     notifications, and worst-case notification latency
+//                     drops to twice the ping interval;
+//  * kCentralServer — every node pings one trusted server per interval
+//                     (suitable inside a data center); the server converts a
+//                     missed ping into notifications for every group the
+//                     silent node belongs to.
+#ifndef FUSE_FUSE_ALT_TOPOLOGIES_H_
+#define FUSE_FUSE_ALT_TOPOLOGIES_H_
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "fuse/fuse_id.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+enum class LivenessTopology {
+  kDirectTree,
+  kAllToAll,
+  kCentralServer,
+};
+
+struct AltFuseConfig {
+  LivenessTopology topology = LivenessTopology::kAllToAll;
+  Duration ping_period = Duration::Seconds(60);
+  Duration ping_timeout = Duration::Seconds(20);
+  Duration create_timeout = Duration::Seconds(30);
+  // For kCentralServer: the host running the monitoring server.
+  HostId central_server;
+};
+
+// One node of an alternative-topology FUSE implementation. On the central
+// server host (kCentralServer), the same class acts as the monitor.
+class AltFuseNode {
+ public:
+  using FailureHandler = std::function<void(FuseId)>;
+  using CreateCallback = std::function<void(const Status&, FuseId)>;
+
+  AltFuseNode(Transport* transport, AltFuseConfig config);
+  ~AltFuseNode();
+
+  AltFuseNode(const AltFuseNode&) = delete;
+  AltFuseNode& operator=(const AltFuseNode&) = delete;
+
+  void CreateGroup(std::vector<HostId> members, CreateCallback cb);
+  void RegisterFailureHandler(FuseId id, FailureHandler handler);
+  void SignalFailure(FuseId id);
+
+  bool HasLiveGroup(FuseId id) const { return groups_.contains(id); }
+  size_t NumLiveGroups() const { return groups_.size(); }
+  uint64_t notifications_delivered() const { return notifications_delivered_; }
+
+  void Shutdown();
+
+ private:
+  struct PeerPing {
+    TimerId next_ping;
+    TimerId timeout;
+    uint64_t awaiting = 0;
+  };
+
+  struct GroupState {
+    FuseId id;
+    std::vector<HostId> members;  // full list including the creator
+    // (group, peer) ping schedules (kDirectTree / kAllToAll).
+    std::unordered_map<HostId, PeerPing> pings;
+    FailureHandler handler;
+  };
+
+  struct CreatePending {
+    std::vector<HostId> members;
+    std::set<HostId> awaiting;
+    CreateCallback cb;
+    TimerId timer;
+  };
+
+  // Which peers this node pings for a group, given the topology.
+  std::vector<HostId> PingTargets(const GroupState& g) const;
+
+  void OnCreate(const WireMessage& msg);
+  void OnCreateReply(const WireMessage& msg);
+  void OnPing(const WireMessage& msg);
+  void OnPingReply(const WireMessage& msg);
+  void OnNotify(const WireMessage& msg);
+
+  void StartPings(GroupState& g);
+  void SendPing(FuseId id, HostId peer);
+  void PingFailed(FuseId id, HostId peer);
+  void FailGroup(FuseId id);  // notify all members + local app + teardown
+  void DropGroup(FuseId id, bool deliver);
+
+  // Central-server role.
+  void ServerNoteAlive(HostId who);
+  void ServerHostDown(HostId who);
+
+  Transport* transport_;
+  AltFuseConfig config_;
+  bool shutdown_ = false;
+  bool is_server_ = false;
+
+  std::unordered_map<FuseId, GroupState> groups_;
+  std::unordered_map<FuseId, CreatePending> creating_;
+  uint64_t next_seq_ = 1;
+  uint64_t notifications_delivered_ = 0;
+
+  // Server-side state (kCentralServer): per-host watchdog + host -> groups.
+  std::unordered_map<HostId, TimerId> server_watchdogs_;
+  std::unordered_map<HostId, std::unordered_set<FuseId>> server_groups_of_;
+  // Member-side: one ping schedule to the server shared by all groups.
+  PeerPing server_ping_;
+  bool server_ping_running_ = false;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_FUSE_ALT_TOPOLOGIES_H_

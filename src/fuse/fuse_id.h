@@ -1,0 +1,78 @@
+// FuseId: the globally unique identifier of a FUSE notification group.
+//
+// Notably (section 2), a FUSE ID is *not* bound to a process or machine: it
+// names a group of nodes and, by application convention, the distributed
+// state whose fate is shared through the group.
+#ifndef FUSE_FUSE_FUSE_ID_H_
+#define FUSE_FUSE_FUSE_ID_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace fuse {
+
+struct FuseId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return hi != 0 || lo != 0; }
+
+  // 128 random bits; collision probability is negligible.
+  static FuseId Generate(Rng& rng) {
+    FuseId id;
+    do {
+      id.hi = rng.NextU64();
+      id.lo = rng.NextU64();
+    } while (!id.valid());
+    return id;
+  }
+
+  std::string ToString() const {
+    char buf[36];
+    std::snprintf(buf, sizeof(buf), "%016llx-%016llx", static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+  }
+
+  friend bool operator==(const FuseId& a, const FuseId& b) { return a.hi == b.hi && a.lo == b.lo; }
+  friend bool operator!=(const FuseId& a, const FuseId& b) { return !(a == b); }
+  friend bool operator<(const FuseId& a, const FuseId& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+inline void WriteFuseId(Writer& w, const FuseId& id) {
+  w.PutU64(id.hi);
+  w.PutU64(id.lo);
+}
+
+inline FuseId ReadFuseId(Reader& r) {
+  FuseId id;
+  id.hi = r.GetU64();
+  id.lo = r.GetU64();
+  return id;
+}
+
+struct FuseIdHash {
+  size_t operator()(const FuseId& id) const {
+    uint64_t x = id.hi ^ (id.lo * 0x9e3779b97f4a7c15ULL);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace fuse
+
+namespace std {
+template <>
+struct hash<fuse::FuseId> {
+  size_t operator()(const fuse::FuseId& id) const { return fuse::FuseIdHash{}(id); }
+};
+}  // namespace std
+
+#endif  // FUSE_FUSE_FUSE_ID_H_

@@ -1,0 +1,976 @@
+#include "fuse/fuse_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/sha1.h"
+
+namespace fuse {
+namespace {
+
+// Wire encodings. All FUSE direct messages are small fixed structures.
+
+std::vector<uint8_t> EncodeIdOnly(const FuseId& id) {
+  Writer w;
+  WriteFuseId(w, id);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeIdSeq(const FuseId& id, uint32_t seq) {
+  Writer w;
+  WriteFuseId(w, id);
+  w.PutU32(seq);
+  return w.Take();
+}
+
+}  // namespace
+
+FuseNode::FuseNode(Transport* transport, SkipNetNode* overlay, FuseParams params)
+    : transport_(transport), overlay_(overlay), params_(params) {
+  transport_->RegisterHandler(msgtype::kFuseGroupCreateRequest,
+                              [this](const WireMessage& m) { OnCreateRequest(m); });
+  transport_->RegisterHandler(msgtype::kFuseGroupCreateReply,
+                              [this](const WireMessage& m) { OnCreateReply(m); });
+  transport_->RegisterHandler(msgtype::kFuseSoftNotification,
+                              [this](const WireMessage& m) { OnSoftNotification(m); });
+  transport_->RegisterHandler(msgtype::kFuseHardNotification,
+                              [this](const WireMessage& m) { OnHardNotification(m); });
+  transport_->RegisterHandler(msgtype::kFuseNeedRepair,
+                              [this](const WireMessage& m) { OnNeedRepair(m); });
+  transport_->RegisterHandler(msgtype::kFuseGroupRepairRequest,
+                              [this](const WireMessage& m) { OnRepairRequest(m); });
+  transport_->RegisterHandler(msgtype::kFuseGroupRepairReply,
+                              [this](const WireMessage& m) { OnRepairReply(m); });
+  transport_->RegisterHandler(msgtype::kFuseReconcileRequest,
+                              [this](const WireMessage& m) { OnReconcileRequest(m); });
+  transport_->RegisterHandler(msgtype::kFuseReconcileReply,
+                              [this](const WireMessage& m) { OnReconcileReply(m); });
+
+  overlay_->SetRoutedHandler(
+      kRoutedTag, [this](SkipNetNode::RoutedUpcall& u) { return OnInstallUpcall(u); });
+  overlay_->SetPingPayloadProvider([this](HostId n) { return PingPayloadFor(n); });
+  overlay_->SetPingPayloadObserver(
+      [this](HostId n, const std::vector<uint8_t>& p) { OnPingPayload(n, p); });
+  overlay_->SetNeighborFailureHandler([this](HostId n) { OnOverlayNeighborFailed(n); });
+}
+
+FuseNode::~FuseNode() { Shutdown(); }
+
+void FuseNode::Shutdown() {
+  if (shutdown_) {
+    return;
+  }
+  shutdown_ = true;
+  // Detach from the overlay so its pings stop calling into us.
+  overlay_->SetPingPayloadProvider(nullptr);
+  overlay_->SetPingPayloadObserver(nullptr);
+  overlay_->SetNeighborFailureHandler(nullptr);
+  Environment& env = transport_->env();
+  for (auto& [id, g] : groups_) {
+    for (auto& [peer, link] : g.links) {
+      env.Cancel(link.timer);
+    }
+    env.Cancel(g.backstop);
+    env.Cancel(g.member_repair_timer);
+    env.Cancel(g.install_timer);
+    env.Cancel(g.scheduled_repair);
+    if (g.repair) {
+      env.Cancel(g.repair->timer);
+    }
+  }
+  for (auto& [id, p] : creating_) {
+    env.Cancel(p.timer);
+  }
+  groups_.clear();
+  creating_.clear();
+  links_by_peer_.clear();
+}
+
+FuseNode::GroupState* FuseNode::Find(FuseId id) {
+  const auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+void FuseNode::CreateGroup(std::vector<NodeRef> members, CreateCallback cb) {
+  Environment& env = transport_->env();
+  const FuseId id = FuseId::Generate(env.rng());
+
+  // The creator is implicitly the root; drop it from the member list if the
+  // caller included it.
+  std::vector<NodeRef> others;
+  for (auto& m : members) {
+    if (m.host != transport_->local_host()) {
+      others.push_back(std::move(m));
+    }
+  }
+
+  if (others.empty()) {
+    // A one-node group: trivially created; it can only fail explicitly.
+    GroupState g;
+    g.id = id;
+    g.is_root = true;
+    groups_.emplace(id, std::move(g));
+    stats_.groups_created++;
+    env.Schedule(Duration::Zero(), [cb = std::move(cb), id] { cb(Status::Ok(), id); });
+    return;
+  }
+
+  CreatePending p;
+  p.members = others;
+  for (const auto& m : others) {
+    p.awaiting_reply.insert(m.name);
+  }
+  p.cb = std::move(cb);
+  p.timer = env.Schedule(params_.create_timeout,
+                         [this, id] { FinishCreate(id, Status::Timeout("group create")); });
+  creating_.emplace(id, std::move(p));
+
+  Writer w;
+  WriteFuseId(w, id);
+  WriteNodeRef(w, self());
+  const std::vector<uint8_t> payload = w.Take();
+  for (const auto& m : others) {
+    WireMessage msg;
+    msg.to = m.host;
+    msg.type = msgtype::kFuseGroupCreateRequest;
+    msg.category = MsgCategory::kFuseCreate;
+    msg.payload = payload;
+    transport_->Send(std::move(msg), nullptr);
+  }
+}
+
+void FuseNode::FinishCreate(FuseId id, const Status& status) {
+  const auto it = creating_.find(id);
+  if (it == creating_.end()) {
+    return;
+  }
+  CreatePending p = std::move(it->second);
+  creating_.erase(it);
+  transport_->env().Cancel(p.timer);
+
+  if (!status.ok()) {
+    // Creation failed: notify everyone who may already have installed state
+    // (paper 6.2); late replies find no creating entry and are ignored.
+    for (const auto& m : p.members) {
+      SendHard(id, m.host);
+    }
+    if (p.cb) {
+      p.cb(status, id);
+    }
+    return;
+  }
+
+  GroupState g;
+  g.id = id;
+  g.is_root = true;
+  g.members = p.members;
+  for (const auto& m : p.members) {
+    if (!p.installed_early.contains(m.name)) {
+      g.install_pending.insert(m.name);
+    }
+  }
+  auto [git, inserted] = groups_.emplace(id, std::move(g));
+  GroupState& gs = git->second;
+  (void)inserted;
+  for (HostId peer : p.early_links) {
+    AddLink(gs, peer, /*seq=*/0);
+  }
+  if (!gs.install_pending.empty()) {
+    gs.install_timer = transport_->env().Schedule(params_.install_timeout, [this, id] {
+      GroupState* grp = Find(id);
+      if (grp != nullptr) {
+        grp->install_timer = TimerId();
+        RootScheduleRepair(id);
+      }
+    });
+  }
+  ArmBackstop(gs);
+  stats_.groups_created++;
+  if (p.cb) {
+    p.cb(Status::Ok(), id);
+  }
+}
+
+void FuseNode::RegisterFailureHandler(FuseId id, FailureHandler handler) {
+  GroupState* g = Find(id);
+  if (g != nullptr && (g->is_root || g->is_member)) {
+    g->handler = std::move(handler);
+    return;
+  }
+  // Unknown (or already failed, or delegate-only) id: the failure handler is
+  // invoked immediately (paper 3.1/3.2).
+  transport_->env().Schedule(Duration::Zero(), [this, id, handler = std::move(handler)] {
+    stats_.notifications_delivered++;
+    handler(id);
+  });
+}
+
+void FuseNode::SignalFailure(FuseId id) {
+  GroupState* g = Find(id);
+  if (g == nullptr) {
+    return;  // already failed: notification already happened or is in flight
+  }
+  if (g->is_root) {
+    RootFailGroup(*g);
+    return;
+  }
+  if (g->is_member) {
+    SendHard(id, g->root.host);
+    SendSoftToTree(*g, HostId(), g->seq);
+    DeliverLocalFailure(id);
+    return;
+  }
+  // Delegate-only state: applications on pure delegates hold no group state;
+  // clean up silently.
+  DropGroup(id, /*deliver_to_app=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Create protocol (member side + root replies).
+// ---------------------------------------------------------------------------
+
+void FuseNode::OnCreateRequest(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  const NodeRef root = ReadNodeRef(r);
+  if (!r.ok()) {
+    return;
+  }
+  GroupState* existing = Find(id);
+  if (existing == nullptr) {
+    GroupState g;
+    g.id = id;
+    g.is_member = true;
+    g.root = root;
+    groups_.emplace(id, std::move(g));
+    GroupState& gs = *Find(id);
+    ArmBackstop(gs);
+    SendInstallChecking(gs);
+  } else {
+    existing->is_member = true;
+    existing->root = root;
+  }
+
+  Writer w;
+  WriteFuseId(w, id);
+  WriteNodeRef(w, self());
+  w.PutU8(1);  // accept
+  WireMessage reply;
+  reply.to = msg.from;
+  reply.type = msgtype::kFuseGroupCreateReply;
+  reply.category = MsgCategory::kFuseCreate;
+  reply.payload = w.Take();
+  transport_->Send(std::move(reply), nullptr);
+}
+
+void FuseNode::OnCreateReply(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  const NodeRef member = ReadNodeRef(r);
+  const uint8_t accept = r.GetU8();
+  if (!r.ok()) {
+    return;
+  }
+  const auto it = creating_.find(id);
+  if (it == creating_.end()) {
+    return;  // late reply: create already finished or failed
+  }
+  if (!accept) {
+    FinishCreate(id, Status::Failed("member refused"));
+    return;
+  }
+  it->second.awaiting_reply.erase(member.name);
+  if (it->second.awaiting_reply.empty()) {
+    FinishCreate(id, Status::Ok());
+  }
+}
+
+void FuseNode::SendInstallChecking(GroupState& g) {
+  Writer w;
+  WriteFuseId(w, g.id);
+  w.PutU32(g.seq);
+  WriteNodeRef(w, self());
+  overlay_->RouteByName(g.root.name, kRoutedTag, w.Take(), MsgCategory::kFuseInstallChecking);
+}
+
+bool FuseNode::OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall) {
+  Reader r(upcall.payload.data(), upcall.payload.size());
+  const FuseId id = ReadFuseId(r);
+  const uint32_t seq = r.GetU32();
+  const NodeRef member = ReadNodeRef(r);
+  if (!r.ok()) {
+    return false;
+  }
+
+  if (!upcall.prev_hop.valid()) {
+    // We are the member that originated this InstallChecking: monitor the
+    // first hop toward the root.
+    GroupState* g = Find(id);
+    if (g != nullptr && upcall.next_hop.valid()) {
+      AddLink(*g, upcall.next_hop.host, seq);
+    }
+    return false;
+  }
+
+  if (upcall.at_dest) {
+    // Arrived at the root: record the member's path as installed and monitor
+    // the last hop.
+    GroupState* g = Find(id);
+    if (g != nullptr && g->is_root) {
+      if (seq == g->seq) {
+        g->install_pending.erase(member.name);
+        if (g->install_pending.empty() && g->install_timer.valid()) {
+          transport_->env().Cancel(g->install_timer);
+          g->install_timer = TimerId();
+        }
+      }
+      AddLink(*g, upcall.prev_hop, seq);
+      ArmBackstop(*g);
+      return false;
+    }
+    // Create still in flight: remember the early install.
+    const auto it = creating_.find(id);
+    if (it != creating_.end() && seq == 0) {
+      it->second.installed_early.insert(member.name);
+      // Monitor the last hop once the root state exists; easiest is to defer
+      // by re-adding on completion — record via a synthetic pending link.
+      // We instead install the link immediately after create completes by
+      // re-walking installed_early; the prev hop is stored alongside.
+      it->second.early_links.push_back(upcall.prev_hop);
+    }
+    return false;
+  }
+
+  // Intermediate hop: we become (or refresh) a delegate for this group.
+  GroupState* g = Find(id);
+  if (g == nullptr) {
+    GroupState fresh;
+    fresh.id = id;
+    fresh.seq = seq;
+    groups_.emplace(id, std::move(fresh));
+    g = Find(id);
+  }
+  if (seq < g->seq) {
+    return false;  // stale path install
+  }
+  g->seq = seq;
+  AddLink(*g, upcall.prev_hop, seq);
+  if (upcall.next_hop.valid()) {
+    AddLink(*g, upcall.next_hop.host, seq);
+  }
+  // If next_hop is invalid the message stalled here (broken overlay route);
+  // the root's install timer will notice the missing path and repair.
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Liveness: piggybacked hashes, timers, reconciliation.
+// ---------------------------------------------------------------------------
+
+void FuseNode::AddLinkIndex(FuseId id, HostId peer) { links_by_peer_[peer].insert(id); }
+
+void FuseNode::EraseLinkIndex(FuseId id, HostId peer) {
+  const auto it = links_by_peer_.find(peer);
+  if (it != links_by_peer_.end()) {
+    it->second.erase(id);
+    if (it->second.empty()) {
+      links_by_peer_.erase(it);
+    }
+  }
+}
+
+void FuseNode::AddLink(GroupState& g, HostId peer, uint32_t seq) {
+  if (peer == transport_->local_host() || !peer.valid()) {
+    return;
+  }
+  LinkState& link = g.links[peer];
+  if (link.installed_at == TimePoint()) {
+    link.installed_at = transport_->env().Now();
+  }
+  link.seq = std::max(link.seq, seq);
+  ArmLinkTimer(g.id, peer, link);
+  AddLinkIndex(g.id, peer);
+}
+
+void FuseNode::RemoveLink(GroupState& g, HostId peer) {
+  const auto it = g.links.find(peer);
+  if (it == g.links.end()) {
+    return;
+  }
+  transport_->env().Cancel(it->second.timer);
+  g.links.erase(it);
+  EraseLinkIndex(g.id, peer);
+}
+
+void FuseNode::ArmLinkTimer(FuseId id, HostId peer, LinkState& link) {
+  Environment& env = transport_->env();
+  env.Cancel(link.timer);
+  link.timer =
+      env.Schedule(params_.link_liveness_timeout, [this, id, peer] { HandleLinkDown(id, peer); });
+}
+
+void FuseNode::ArmBackstop(GroupState& g) {
+  Environment& env = transport_->env();
+  env.Cancel(g.backstop);
+  const FuseId id = g.id;
+  g.backstop = env.Schedule(params_.link_liveness_timeout, [this, id] {
+    GroupState* grp = Find(id);
+    if (grp == nullptr) {
+      return;
+    }
+    ArmBackstop(*grp);  // keep the backstop alive while we attempt repair
+    if (grp->is_member) {
+      MemberInitiateRepair(*grp);
+    } else if (grp->is_root) {
+      RootScheduleRepair(id);
+    }
+  });
+}
+
+std::vector<uint8_t> FuseNode::PingPayloadFor(HostId neighbor) {
+  const auto it = links_by_peer_.find(neighbor);
+  if (it == links_by_peer_.end() || it->second.empty()) {
+    return {};
+  }
+  Sha1 h;
+  for (const FuseId& id : it->second) {
+    h.UpdateU64(id.hi);
+    h.UpdateU64(id.lo);
+  }
+  const Sha1Digest d = h.Finish();
+  return std::vector<uint8_t>(d.begin(), d.end());
+}
+
+void FuseNode::OnPingPayload(HostId neighbor, const std::vector<uint8_t>& payload) {
+  const std::vector<uint8_t> local = PingPayloadFor(neighbor);
+  if (payload == local) {
+    if (!local.empty()) {
+      ResetLinkTimers(neighbor);
+    }
+    return;
+  }
+  MaybeReconcile(neighbor);
+}
+
+void FuseNode::ResetLinkTimers(HostId neighbor) {
+  const auto it = links_by_peer_.find(neighbor);
+  if (it == links_by_peer_.end()) {
+    return;
+  }
+  for (const FuseId& id : it->second) {
+    GroupState* g = Find(id);
+    if (g == nullptr) {
+      continue;
+    }
+    const auto lit = g->links.find(neighbor);
+    if (lit != g->links.end()) {
+      ArmLinkTimer(id, neighbor, lit->second);
+    }
+    if (g->is_root || g->is_member) {
+      ArmBackstop(*g);
+    }
+  }
+}
+
+void FuseNode::OnOverlayNeighborFailed(HostId neighbor) {
+  const auto it = links_by_peer_.find(neighbor);
+  if (it == links_by_peer_.end()) {
+    return;
+  }
+  const std::vector<FuseId> ids(it->second.begin(), it->second.end());
+  for (const FuseId& id : ids) {
+    HandleLinkDown(id, neighbor);
+  }
+}
+
+void FuseNode::HandleLinkDown(FuseId id, HostId peer) {
+  GroupState* g = Find(id);
+  if (g == nullptr) {
+    return;
+  }
+  uint32_t seq = g->seq;
+  const auto lit = g->links.find(peer);
+  if (lit != g->links.end()) {
+    seq = std::max(seq, lit->second.seq);
+  }
+  RemoveLink(*g, peer);
+  SendSoftToTree(*g, peer, seq);
+  if (g->is_member) {
+    if (params_.attempt_repair) {
+      MemberInitiateRepair(*g);
+    } else {
+      // Ablation: no repair — convert the path failure directly into a group
+      // failure.
+      SendHard(id, g->root.host);
+      DeliverLocalFailure(id);
+    }
+  } else if (g->is_root) {
+    if (params_.attempt_repair) {
+      RootScheduleRepair(id);
+    } else {
+      RootFailGroup(*g);
+    }
+  } else {
+    // Pure delegate: cleaning up the checking state for this group entirely
+    // (paper 6.3).
+    DropGroup(id, /*deliver_to_app=*/false);
+  }
+}
+
+void FuseNode::MaybeReconcile(HostId neighbor) {
+  Environment& env = transport_->env();
+  const TimePoint now = env.Now();
+  const auto it = last_reconcile_.find(neighbor);
+  if (it != last_reconcile_.end() && now - it->second < params_.reconcile_min_interval) {
+    return;
+  }
+  last_reconcile_[neighbor] = now;
+  stats_.reconciles++;
+  WireMessage msg;
+  msg.to = neighbor;
+  msg.type = msgtype::kFuseReconcileRequest;
+  msg.category = MsgCategory::kFuseReconcile;
+  msg.payload = EncodeLinkList(neighbor);
+  transport_->Send(std::move(msg), nullptr);
+}
+
+std::vector<uint8_t> FuseNode::EncodeLinkList(HostId neighbor) {
+  Writer w;
+  const auto it = links_by_peer_.find(neighbor);
+  const TimePoint now = transport_->env().Now();
+  if (it == links_by_peer_.end()) {
+    w.PutU32(0);
+    return w.Take();
+  }
+  w.PutU32(static_cast<uint32_t>(it->second.size()));
+  for (const FuseId& id : it->second) {
+    WriteFuseId(w, id);
+    const GroupState* g = Find(id);
+    uint32_t seq = 0;
+    uint64_t age_us = 0;
+    if (g != nullptr) {
+      const auto lit = g->links.find(neighbor);
+      if (lit != g->links.end()) {
+        seq = lit->second.seq;
+        age_us = static_cast<uint64_t>((now - lit->second.installed_at).ToMicros());
+      }
+    }
+    w.PutU32(seq);
+    w.PutU64(age_us);
+  }
+  return w.Take();
+}
+
+void FuseNode::ProcessRemoteLinkList(HostId neighbor, Reader& r) {
+  const uint32_t n = r.GetU32();
+  std::set<FuseId> remote;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    const FuseId id = ReadFuseId(r);
+    r.GetU32();  // seq (informational)
+    r.GetU64();  // age
+    remote.insert(id);
+  }
+  if (!r.ok()) {
+    return;
+  }
+  const auto it = links_by_peer_.find(neighbor);
+  if (it == links_by_peer_.end()) {
+    return;
+  }
+  const std::vector<FuseId> mine(it->second.begin(), it->second.end());
+  const TimePoint now = transport_->env().Now();
+  for (const FuseId& id : mine) {
+    GroupState* g = Find(id);
+    if (g == nullptr) {
+      continue;
+    }
+    const auto lit = g->links.find(neighbor);
+    if (lit == g->links.end()) {
+      continue;
+    }
+    if (remote.contains(id)) {
+      // Agreement: the tree lives on; reset the timers (paper 6.3).
+      ArmLinkTimer(id, neighbor, lit->second);
+      if (g->is_root || g->is_member) {
+        ArmBackstop(*g);
+      }
+    } else if (now - lit->second.installed_at > params_.grace_period) {
+      // Disagreement beyond the grace period: the neighbor does not believe
+      // this liveness tree exists; tear it down on our side.
+      HandleLinkDown(id, neighbor);
+    }
+  }
+}
+
+void FuseNode::OnReconcileRequest(const WireMessage& msg) {
+  // Reply with our view first (so the requester always gets an answer), then
+  // process theirs.
+  WireMessage reply;
+  reply.to = msg.from;
+  reply.type = msgtype::kFuseReconcileReply;
+  reply.category = MsgCategory::kFuseReconcile;
+  reply.payload = EncodeLinkList(msg.from);
+  transport_->Send(std::move(reply), nullptr);
+
+  Reader r(msg.payload);
+  ProcessRemoteLinkList(msg.from, r);
+}
+
+void FuseNode::OnReconcileReply(const WireMessage& msg) {
+  Reader r(msg.payload);
+  ProcessRemoteLinkList(msg.from, r);
+}
+
+// ---------------------------------------------------------------------------
+// Notifications.
+// ---------------------------------------------------------------------------
+
+void FuseNode::SendSoftToTree(GroupState& g, HostId except, uint32_t seq) {
+  for (const auto& [peer, link] : g.links) {
+    if (peer == except) {
+      continue;
+    }
+    WireMessage msg;
+    msg.to = peer;
+    msg.type = msgtype::kFuseSoftNotification;
+    msg.category = MsgCategory::kFuseSoftNotification;
+    msg.payload = EncodeIdSeq(g.id, seq);
+    transport_->Send(std::move(msg), nullptr);
+    stats_.soft_notifications_sent++;
+  }
+}
+
+void FuseNode::SendHard(FuseId id, HostId to) {
+  if (!to.valid() || to == transport_->local_host()) {
+    return;
+  }
+  WireMessage msg;
+  msg.to = to;
+  msg.type = msgtype::kFuseHardNotification;
+  msg.category = MsgCategory::kFuseHardNotification;
+  msg.payload = EncodeIdOnly(id);
+  transport_->Send(std::move(msg), nullptr);
+  stats_.hard_notifications_sent++;
+}
+
+void FuseNode::OnSoftNotification(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  const uint32_t seq = r.GetU32();
+  if (!r.ok()) {
+    return;
+  }
+  GroupState* g = Find(id);
+  if (g == nullptr) {
+    return;
+  }
+  if (seq < g->seq) {
+    return;  // stale: a repair already superseded this tree (paper 6.4)
+  }
+  SendSoftToTree(*g, msg.from, seq);
+  if (g->is_member) {
+    RemoveLink(*g, msg.from);
+    MemberInitiateRepair(*g);
+  } else if (g->is_root) {
+    RemoveLink(*g, msg.from);
+    RootScheduleRepair(id);
+  } else {
+    DropGroup(id, /*deliver_to_app=*/false);
+  }
+}
+
+void FuseNode::OnHardNotification(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  if (!r.ok()) {
+    return;
+  }
+  GroupState* g = Find(id);
+  if (g == nullptr) {
+    return;  // already gone: exactly-once behavior
+  }
+  if (g->is_root) {
+    // Forward to every other member, clean the liveness tree, notify the
+    // local application (paper 6.4, Figure 4).
+    for (const auto& m : g->members) {
+      if (m.host != msg.from) {
+        SendHard(id, m.host);
+      }
+    }
+    SendSoftToTree(*g, HostId(), g->seq);
+    DeliverLocalFailure(id);
+    return;
+  }
+  if (g->is_member) {
+    DeliverLocalFailure(id);
+    return;
+  }
+  DropGroup(id, /*deliver_to_app=*/false);
+}
+
+void FuseNode::RootFailGroup(GroupState& g) {
+  const FuseId id = g.id;
+  for (const auto& m : g.members) {
+    SendHard(id, m.host);
+  }
+  SendSoftToTree(g, HostId(), g.seq);
+  DeliverLocalFailure(id);
+}
+
+void FuseNode::DeliverLocalFailure(FuseId id) { DropGroup(id, /*deliver_to_app=*/true); }
+
+void FuseNode::DropGroup(FuseId id, bool deliver_to_app) {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) {
+    return;
+  }
+  GroupState& g = it->second;
+  Environment& env = transport_->env();
+  for (auto& [peer, link] : g.links) {
+    env.Cancel(link.timer);
+    EraseLinkIndex(id, peer);
+  }
+  env.Cancel(g.backstop);
+  env.Cancel(g.member_repair_timer);
+  env.Cancel(g.install_timer);
+  env.Cancel(g.scheduled_repair);
+  if (g.repair) {
+    env.Cancel(g.repair->timer);
+  }
+  const bool was_participant = g.is_root || g.is_member;
+  FailureHandler handler = std::move(g.handler);
+  groups_.erase(it);
+  if (was_participant) {
+    stats_.groups_failed++;
+  }
+  if (deliver_to_app && handler) {
+    stats_.notifications_delivered++;
+    handler(id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repair.
+// ---------------------------------------------------------------------------
+
+void FuseNode::MemberInitiateRepair(GroupState& g) {
+  if (g.member_repair_timer.valid()) {
+    return;  // already waiting for the root
+  }
+  const FuseId id = g.id;
+  WireMessage msg;
+  msg.to = g.root.host;
+  msg.type = msgtype::kFuseNeedRepair;
+  msg.category = MsgCategory::kFuseNeedRepair;
+  msg.payload = EncodeIdSeq(id, g.seq);
+  const HostId root_host = g.root.host;
+  transport_->Send(std::move(msg), [this, id, root_host](const Status& s) {
+    if (s.ok()) {
+      return;
+    }
+    // Root unreachable (broken connection): treat as group failure (6.1).
+    GroupState* grp = Find(id);
+    if (grp != nullptr && grp->is_member) {
+      SendHard(id, root_host);
+      SendSoftToTree(*grp, HostId(), grp->seq);
+      DeliverLocalFailure(id);
+    }
+  });
+  g.member_repair_timer = transport_->env().Schedule(params_.member_repair_timeout, [this, id] {
+    // No repair response from the root within a minute (paper 6.5 / 7.4):
+    // signal locally, best-effort Hard to the root, clean up.
+    GroupState* grp = Find(id);
+    if (grp == nullptr) {
+      return;
+    }
+    grp->member_repair_timer = TimerId();
+    SendHard(id, grp->root.host);
+    SendSoftToTree(*grp, HostId(), grp->seq);
+    DeliverLocalFailure(id);
+  });
+}
+
+void FuseNode::OnNeedRepair(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  r.GetU32();  // member's seq (informational)
+  if (!r.ok()) {
+    return;
+  }
+  GroupState* g = Find(id);
+  if (g == nullptr || !g->is_root) {
+    // The group no longer exists here: make sure the member finds out.
+    SendHard(id, msg.from);
+    return;
+  }
+  RootScheduleRepair(id);
+}
+
+void FuseNode::RootScheduleRepair(FuseId id) {
+  GroupState* g = Find(id);
+  if (g == nullptr || !g->is_root) {
+    return;
+  }
+  if (g->repair != nullptr || g->scheduled_repair.valid()) {
+    return;  // a repair is already running or queued
+  }
+  Environment& env = transport_->env();
+  const TimePoint now = env.Now();
+  // Exponential backoff per group, capped at 40 s; decays after quiet periods
+  // (paper 6.5).
+  if (g->last_repair_time != TimePoint() &&
+      now - g->last_repair_time > params_.repair_backoff_reset) {
+    g->repair_backoff = Duration::Zero();
+  }
+  const Duration delay = g->repair_backoff;
+  g->repair_backoff = g->repair_backoff.IsZero()
+                          ? params_.repair_backoff_initial
+                          : std::min(g->repair_backoff * int64_t{2}, params_.repair_backoff_cap);
+  g->scheduled_repair = env.Schedule(delay, [this, id] {
+    GroupState* grp = Find(id);
+    if (grp != nullptr) {
+      grp->scheduled_repair = TimerId();
+      RootStartRepair(id);
+    }
+  });
+}
+
+void FuseNode::RootStartRepair(FuseId id) {
+  GroupState* g = Find(id);
+  if (g == nullptr || !g->is_root || g->repair != nullptr) {
+    return;
+  }
+  Environment& env = transport_->env();
+  stats_.repairs_initiated++;
+  g->seq++;
+  g->last_repair_time = env.Now();
+  g->repair = std::make_unique<RepairPending>();
+  g->install_pending.clear();
+  for (const auto& m : g->members) {
+    g->repair->awaiting_reply.insert(m.name);
+    g->install_pending.insert(m.name);
+  }
+  env.Cancel(g->install_timer);
+  g->install_timer = TimerId();
+  g->repair->timer =
+      env.Schedule(params_.root_repair_timeout, [this, id] { RootRepairFailed(id); });
+
+  for (const auto& m : g->members) {
+    WireMessage msg;
+    msg.to = m.host;
+    msg.type = msgtype::kFuseGroupRepairRequest;
+    msg.category = MsgCategory::kFuseRepair;
+    msg.payload = EncodeIdSeq(id, g->seq);
+    transport_->Send(std::move(msg), [this, id](const Status& s) {
+      if (!s.ok()) {
+        // A member is unreachable: the repair has failed (paper 6.5).
+        RootRepairFailed(id);
+      }
+    });
+  }
+}
+
+void FuseNode::OnRepairRequest(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  const uint32_t new_seq = r.GetU32();
+  if (!r.ok()) {
+    return;
+  }
+  GroupState* g = Find(id);
+  Writer w;
+  WriteFuseId(w, id);
+  WriteNodeRef(w, self());
+  if (g == nullptr || g->is_root) {
+    // "If a repair message ever encounters a member that no longer has
+    // knowledge of the group, it fails and signals a HardNotification."
+    w.PutU8(0);
+    WireMessage reply;
+    reply.to = msg.from;
+    reply.type = msgtype::kFuseGroupRepairReply;
+    reply.category = MsgCategory::kFuseRepair;
+    reply.payload = w.Take();
+    transport_->Send(std::move(reply), nullptr);
+    return;
+  }
+  // Adopt the new tree incarnation: stale SoftNotifications for the old tree
+  // are discarded from here on (paper 6.5).
+  g->seq = std::max(g->seq, new_seq);
+  if (g->member_repair_timer.valid()) {
+    transport_->env().Cancel(g->member_repair_timer);
+    g->member_repair_timer = TimerId();
+  }
+  // The old tree links are obsolete; the new InstallChecking re-creates them.
+  const std::vector<HostId> old_links = [&] {
+    std::vector<HostId> v;
+    v.reserve(g->links.size());
+    for (const auto& [peer, link] : g->links) {
+      v.push_back(peer);
+    }
+    return v;
+  }();
+  for (HostId peer : old_links) {
+    RemoveLink(*g, peer);
+  }
+  ArmBackstop(*g);
+
+  w.PutU8(1);
+  WireMessage reply;
+  reply.to = msg.from;
+  reply.type = msgtype::kFuseGroupRepairReply;
+  reply.category = MsgCategory::kFuseRepair;
+  reply.payload = w.Take();
+  transport_->Send(std::move(reply), nullptr);
+
+  SendInstallChecking(*g);
+}
+
+void FuseNode::OnRepairReply(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const FuseId id = ReadFuseId(r);
+  const NodeRef member = ReadNodeRef(r);
+  const uint8_t ok = r.GetU8();
+  if (!r.ok()) {
+    return;
+  }
+  GroupState* g = Find(id);
+  if (g == nullptr || !g->is_root || g->repair == nullptr) {
+    return;
+  }
+  if (!ok) {
+    RootRepairFailed(id);
+    return;
+  }
+  g->repair->awaiting_reply.erase(member.name);
+  if (!g->repair->awaiting_reply.empty()) {
+    return;
+  }
+  // Every member answered: the repair round succeeded. Now wait for the new
+  // liveness paths to install.
+  transport_->env().Cancel(g->repair->timer);
+  g->repair.reset();
+  if (!g->install_pending.empty()) {
+    g->install_timer = transport_->env().Schedule(params_.install_timeout, [this, id] {
+      GroupState* grp = Find(id);
+      if (grp != nullptr) {
+        grp->install_timer = TimerId();
+        RootScheduleRepair(id);
+      }
+    });
+  }
+}
+
+void FuseNode::RootRepairFailed(FuseId id) {
+  GroupState* g = Find(id);
+  if (g == nullptr || !g->is_root) {
+    return;
+  }
+  RootFailGroup(*g);
+}
+
+}  // namespace fuse

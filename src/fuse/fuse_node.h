@@ -1,0 +1,222 @@
+// FuseNode: the FUSE layer on one host (paper sections 3, 5, 6).
+//
+// Public API (paper Figure 1): CreateGroup / RegisterFailureHandler /
+// SignalFailure, providing *distributed one-way agreement*: once any member
+// observes a failure — node crash, arbitrary network failure, or an explicit
+// application signal — every live group member hears exactly one failure
+// notification within a bounded time, and the group is gone.
+//
+// Implementation choices match the paper's:
+//  * blocking create semantics (the callback fires only after every member
+//    was contacted, or with an error after the create timeout);
+//  * liveness spanning trees along overlay routes (members route
+//    InstallChecking toward the root; intermediate nodes become delegates);
+//  * liveness is piggybacked on overlay ping traffic as a 20-byte SHA-1 of
+//    the per-link live FUSE-ID list, so FUSE adds no steady-state messages;
+//  * hash mismatches trigger a reconcile exchange with a 5 s grace period;
+//  * delegate/path failures trigger SoftNotifications and *repair*, not
+//    application-visible failures; create/repair failures and explicit
+//    signals trigger HardNotifications that are reflected to applications;
+//  * per-group repair frequency backs off exponentially, capped at 40 s;
+//  * no stable storage: crash recovery is re-registration plus the
+//    reconciliation mechanism tearing down groups the crashed node forgot.
+#ifndef FUSE_FUSE_FUSE_NODE_H_
+#define FUSE_FUSE_FUSE_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "fuse/fuse_id.h"
+#include "fuse/params.h"
+#include "overlay/skipnet_node.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+class FuseNode {
+ public:
+  // Invoked exactly once when the group fails. The handler may call back
+  // into FuseNode (e.g. to create a replacement group).
+  using FailureHandler = std::function<void(FuseId)>;
+  using CreateCallback = std::function<void(const Status&, FuseId)>;
+
+  // Statistics exposed for tests and benches.
+  struct Stats {
+    uint64_t notifications_delivered = 0;  // app handler invocations
+    uint64_t hard_notifications_sent = 0;
+    uint64_t soft_notifications_sent = 0;
+    uint64_t repairs_initiated = 0;        // root-side repair rounds
+    uint64_t reconciles = 0;
+    uint64_t groups_created = 0;
+    uint64_t groups_failed = 0;            // groups that died at this node
+  };
+
+  // The overlay routed-message tag FUSE claims for InstallChecking.
+  static constexpr uint16_t kRoutedTag = 1;
+
+  FuseNode(Transport* transport, SkipNetNode* overlay, FuseParams params = FuseParams());
+  ~FuseNode();
+
+  FuseNode(const FuseNode&) = delete;
+  FuseNode& operator=(const FuseNode&) = delete;
+
+  // --- paper Figure 1 API ---
+  // Creates a group containing this node (the root) and `members`. The
+  // callback fires with Ok and the new FUSE ID once every member was
+  // contacted, or with an error (and the dead ID) if any was unreachable.
+  void CreateGroup(std::vector<NodeRef> members, CreateCallback cb);
+  // Registers the failure callback. If the ID is unknown or already failed,
+  // the handler is invoked immediately (asynchronously), per section 3.2.
+  void RegisterFailureHandler(FuseId id, FailureHandler handler);
+  // Explicit failure notification (fail-on-send, application-defined failure
+  // conditions, voluntary departure — sections 3.4, 4).
+  void SignalFailure(FuseId id);
+
+  // --- introspection ---
+  bool HasLiveGroup(FuseId id) const { return groups_.contains(id); }
+  // True if this node holds root or member (participant) state for the group;
+  // false for delegate-only state or unknown ids.
+  bool IsParticipant(FuseId id) const {
+    const auto it = groups_.find(id);
+    return it != groups_.end() && (it->second.is_root || it->second.is_member);
+  }
+  size_t NumLiveGroups() const { return groups_.size(); }
+  // Total (group, neighbor) pairs monitored on this node's overlay links —
+  // the messages-per-period a non-piggybacked implementation would send.
+  size_t NumMonitoredLinks() const {
+    size_t n = 0;
+    for (const auto& [peer, ids] : links_by_peer_) {
+      n += ids.size();
+    }
+    return n;
+  }
+  const Stats& stats() const { return stats_; }
+  NodeRef self() const { return overlay_->self(); }
+
+  void Shutdown();
+
+ private:
+  struct LinkState {
+    uint32_t seq = 0;           // tree incarnation this link belongs to
+    TimerId timer;              // liveness backstop for this link
+    TimePoint installed_at;     // for the reconcile grace period
+  };
+
+  struct CreatePending {
+    std::vector<NodeRef> members;
+    std::set<std::string> awaiting_reply;    // member names
+    std::set<std::string> installed_early;   // InstallChecking before reply
+    std::vector<HostId> early_links;         // last hops of early installs
+    CreateCallback cb;
+    TimerId timer;
+  };
+
+  struct RepairPending {
+    std::set<std::string> awaiting_reply;
+    TimerId timer;
+  };
+
+  struct GroupState {
+    FuseId id;
+    uint32_t seq = 0;
+    bool is_root = false;
+    bool is_member = false;     // non-root member
+    NodeRef root;               // valid on members
+    std::vector<NodeRef> members;  // valid on the root (excludes the root)
+
+    // Liveness tree links this node monitors for the group.
+    std::unordered_map<HostId, LinkState> links;
+
+    // Members/root: group-level liveness backstop (paper 6.2: "a timer ...
+    // that will signal failure in the event of future communication
+    // failures", reset only by liveness checking).
+    TimerId backstop;
+
+    // Member: waiting to hear from the root after initiating repair.
+    TimerId member_repair_timer;
+
+    // Root: repair bookkeeping.
+    std::unique_ptr<RepairPending> repair;
+    std::set<std::string> install_pending;  // members whose path is not installed
+    TimerId install_timer;
+    Duration repair_backoff = Duration::Zero();
+    TimePoint last_repair_time;
+    TimerId scheduled_repair;
+
+    FailureHandler handler;
+  };
+
+  // --- API plumbing ---
+  void FinishCreate(FuseId id, const Status& status);
+
+  // --- wire handlers ---
+  void OnCreateRequest(const WireMessage& msg);
+  void OnCreateReply(const WireMessage& msg);
+  bool OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall);
+  void OnSoftNotification(const WireMessage& msg);
+  void OnHardNotification(const WireMessage& msg);
+  void OnNeedRepair(const WireMessage& msg);
+  void OnRepairRequest(const WireMessage& msg);
+  void OnRepairReply(const WireMessage& msg);
+  void OnReconcileRequest(const WireMessage& msg);
+  void OnReconcileReply(const WireMessage& msg);
+
+  // --- liveness ---
+  std::vector<uint8_t> PingPayloadFor(HostId neighbor);
+  void OnPingPayload(HostId neighbor, const std::vector<uint8_t>& payload);
+  void OnOverlayNeighborFailed(HostId neighbor);
+  void AddLink(GroupState& g, HostId peer, uint32_t seq);
+  void RemoveLink(GroupState& g, HostId peer);
+  void ResetLinkTimers(HostId neighbor);
+  void ArmLinkTimer(FuseId id, HostId peer, LinkState& link);
+  void ArmBackstop(GroupState& g);
+  void HandleLinkDown(FuseId id, HostId peer);
+
+  // --- notifications ---
+  void SendSoftToTree(GroupState& g, HostId except, uint32_t seq);
+  void SendHard(FuseId id, HostId to);
+  void RootFailGroup(GroupState& g);        // Hard to all members + local app
+  void DeliverLocalFailure(FuseId id);      // invoke handler + teardown
+
+  // --- repair ---
+  void MemberInitiateRepair(GroupState& g);
+  void RootScheduleRepair(FuseId id);
+  void RootStartRepair(FuseId id);
+  void RootRepairFailed(FuseId id);
+  void SendInstallChecking(GroupState& g);
+
+  // --- reconciliation ---
+  void MaybeReconcile(HostId neighbor);
+  std::vector<uint8_t> EncodeLinkList(HostId neighbor);
+  void ProcessRemoteLinkList(HostId neighbor, Reader& r);
+
+  // --- state management ---
+  GroupState* Find(FuseId id);
+  void DropGroup(FuseId id, bool deliver_to_app);
+  void EraseLinkIndex(FuseId id, HostId peer);
+  void AddLinkIndex(FuseId id, HostId peer);
+
+  Transport* transport_;
+  SkipNetNode* overlay_;
+  FuseParams params_;
+  bool shutdown_ = false;
+
+  std::unordered_map<FuseId, GroupState> groups_;
+  std::unordered_map<FuseId, CreatePending> creating_;
+  // neighbor host -> ordered set of groups monitored on that link (ordered so
+  // the SHA-1 piggyback hash is deterministic).
+  std::unordered_map<HostId, std::set<FuseId>> links_by_peer_;
+  std::unordered_map<HostId, TimePoint> last_reconcile_;
+
+  Stats stats_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_FUSE_FUSE_NODE_H_

@@ -1,0 +1,100 @@
+#include "membership/heartbeat_detector.h"
+
+namespace fuse {
+
+// Heartbeats reuse the SWIM ping wire type with a zero seq: the payload is a
+// single sentinel byte so the two protocols cannot run on one transport at
+// the same time (they never do; one detector per experiment).
+HeartbeatDetector::HeartbeatDetector(Transport* transport, HeartbeatConfig config)
+    : transport_(transport), config_(config) {
+  transport_->RegisterHandler(msgtype::kSwimPing,
+                              [this](const WireMessage& m) { OnHeartbeat(m); });
+}
+
+HeartbeatDetector::~HeartbeatDetector() { Stop(); }
+
+void HeartbeatDetector::Start(const std::vector<HostId>& peers) {
+  for (HostId p : peers) {
+    if (p != transport_->local_host()) {
+      peers_.emplace(p, Peer{});
+    }
+  }
+  running_ = true;
+  for (auto& [h, peer] : peers_) {
+    ArmTimeout(h);
+  }
+  const Duration phase =
+      Duration::Micros(transport_->env().rng().UniformInt(0, config_.period.ToMicros()));
+  send_timer_ = transport_->env().Schedule(phase, [this] { SendHeartbeats(); });
+}
+
+void HeartbeatDetector::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  transport_->env().Cancel(send_timer_);
+  for (auto& [h, peer] : peers_) {
+    transport_->env().Cancel(peer.timeout_timer);
+  }
+}
+
+bool HeartbeatDetector::IsUp(HostId peer) const {
+  const auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.up;
+}
+
+size_t HeartbeatDetector::NumUp() const {
+  size_t n = 0;
+  for (const auto& [h, p] : peers_) {
+    if (p.up) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void HeartbeatDetector::SendHeartbeats() {
+  if (!running_) {
+    return;
+  }
+  for (const auto& [h, peer] : peers_) {
+    WireMessage msg;
+    msg.to = h;
+    msg.type = msgtype::kSwimPing;
+    msg.category = MsgCategory::kApp;
+    msg.payload = {0x48};
+    transport_->Send(std::move(msg), nullptr);
+  }
+  send_timer_ = transport_->env().Schedule(config_.period, [this] { SendHeartbeats(); });
+}
+
+void HeartbeatDetector::OnHeartbeat(const WireMessage& msg) {
+  const auto it = peers_.find(msg.from);
+  if (it == peers_.end()) {
+    return;
+  }
+  if (!it->second.up) {
+    it->second.up = true;
+    if (on_status_) {
+      on_status_(msg.from, true);
+    }
+  }
+  ArmTimeout(msg.from);
+}
+
+void HeartbeatDetector::ArmTimeout(HostId peer) {
+  auto& p = peers_[peer];
+  transport_->env().Cancel(p.timeout_timer);
+  p.timeout_timer = transport_->env().Schedule(config_.timeout, [this, peer] {
+    auto& pp = peers_[peer];
+    if (pp.up) {
+      pp.up = false;
+      if (on_status_) {
+        on_status_(peer, false);
+      }
+    }
+  });
+}
+
+}  // namespace fuse

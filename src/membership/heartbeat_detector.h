@@ -1,0 +1,58 @@
+// All-to-all heartbeat unreliable failure detector (paper section 2): the
+// weakest building block — periodic heartbeats, per-peer timeout, up/down
+// callbacks. Used as an ablation baseline against FUSE's shared liveness
+// checking and against SWIM's probe+gossip design.
+#ifndef FUSE_MEMBERSHIP_HEARTBEAT_DETECTOR_H_
+#define FUSE_MEMBERSHIP_HEARTBEAT_DETECTOR_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace fuse {
+
+struct HeartbeatConfig {
+  Duration period = Duration::Seconds(5);
+  Duration timeout = Duration::Seconds(15);
+};
+
+class HeartbeatDetector {
+ public:
+  using StatusHandler = std::function<void(HostId peer, bool up)>;
+
+  HeartbeatDetector(Transport* transport, HeartbeatConfig config = HeartbeatConfig());
+  ~HeartbeatDetector();
+
+  HeartbeatDetector(const HeartbeatDetector&) = delete;
+  HeartbeatDetector& operator=(const HeartbeatDetector&) = delete;
+
+  void Start(const std::vector<HostId>& peers);
+  void Stop();
+  void SetStatusHandler(StatusHandler h) { on_status_ = std::move(h); }
+
+  bool IsUp(HostId peer) const;
+  size_t NumUp() const;
+
+ private:
+  struct Peer {
+    bool up = true;
+    TimerId timeout_timer;
+  };
+
+  void SendHeartbeats();
+  void OnHeartbeat(const WireMessage& msg);
+  void ArmTimeout(HostId peer);
+
+  Transport* transport_;
+  HeartbeatConfig config_;
+  bool running_ = false;
+  std::unordered_map<HostId, Peer> peers_;
+  TimerId send_timer_;
+  StatusHandler on_status_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_MEMBERSHIP_HEARTBEAT_DETECTOR_H_

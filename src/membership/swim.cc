@@ -1,0 +1,380 @@
+#include "membership/swim.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace fuse {
+namespace {
+
+// Ping / ack payload layout:
+//   seq u64, subject u64 (probe target for ping-req; else self), gossip list.
+// Gossip entry: subject u64, state u8, incarnation u32.
+
+}  // namespace
+
+SwimMember::SwimMember(Transport* transport, SwimConfig config)
+    : transport_(transport), config_(config) {
+  transport_->RegisterHandler(msgtype::kSwimPing, [this](const WireMessage& m) { OnPing(m); });
+  transport_->RegisterHandler(msgtype::kSwimAck, [this](const WireMessage& m) { OnAck(m); });
+  transport_->RegisterHandler(msgtype::kSwimPingReq,
+                              [this](const WireMessage& m) { OnPingReq(m); });
+  transport_->RegisterHandler(msgtype::kSwimPingReqAck,
+                              [this](const WireMessage& m) { OnPingReqAck(m); });
+}
+
+SwimMember::~SwimMember() { Stop(); }
+
+void SwimMember::Start(const std::vector<HostId>& peers) {
+  for (HostId p : peers) {
+    if (p != transport_->local_host()) {
+      members_.emplace(p, Member{});
+      probe_order_.push_back(p);
+    }
+  }
+  transport_->env().rng().Shuffle(probe_order_);
+  running_ = true;
+  const Duration phase = Duration::Micros(
+      transport_->env().rng().UniformInt(0, config_.protocol_period.ToMicros()));
+  tick_timer_ = transport_->env().Schedule(phase, [this] { Tick(); });
+}
+
+void SwimMember::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  transport_->env().Cancel(tick_timer_);
+  for (auto& [seq, probe] : probes_) {
+    transport_->env().Cancel(probe.direct_timer);
+    transport_->env().Cancel(probe.final_timer);
+  }
+  probes_.clear();
+  for (auto& [h, m] : members_) {
+    transport_->env().Cancel(m.suspicion_timer);
+  }
+}
+
+SwimMember::State SwimMember::StateOf(HostId h) const {
+  const auto it = members_.find(h);
+  return it == members_.end() ? State::kDead : it->second.state;
+}
+
+size_t SwimMember::NumAlive() const {
+  size_t n = 0;
+  for (const auto& [h, m] : members_) {
+    if (m.state != State::kDead) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t SwimMember::NumDead() const { return members_.size() - NumAlive(); }
+
+void SwimMember::QueueUpdate(HostId subject, State state, uint32_t incarnation) {
+  gossip_.push_back(Update{subject, state, incarnation, config_.gossip_retransmits});
+  while (gossip_.size() > 64) {
+    gossip_.pop_front();
+  }
+}
+
+void SwimMember::AppendGossip(Writer& w) {
+  int count = 0;
+  for (auto& u : gossip_) {
+    if (u.remaining_sends <= 0) {
+      continue;
+    }
+    if (++count > config_.gossip_fanout) {
+      break;
+    }
+  }
+  w.PutU8(static_cast<uint8_t>(std::min(count, config_.gossip_fanout)));
+  int emitted = 0;
+  for (auto& u : gossip_) {
+    if (u.remaining_sends <= 0) {
+      continue;
+    }
+    if (emitted >= config_.gossip_fanout) {
+      break;
+    }
+    w.PutU64(u.subject.value);
+    w.PutU8(static_cast<uint8_t>(u.state));
+    w.PutU32(u.incarnation);
+    u.remaining_sends--;
+    ++emitted;
+  }
+  while (!gossip_.empty() && gossip_.front().remaining_sends <= 0) {
+    gossip_.pop_front();
+  }
+}
+
+void SwimMember::ConsumeGossip(Reader& r) {
+  const uint8_t n = r.GetU8();
+  for (uint8_t i = 0; i < n && r.ok(); ++i) {
+    const HostId subject(r.GetU64());
+    const State state = static_cast<State>(r.GetU8());
+    const uint32_t incarnation = r.GetU32();
+    if (!r.ok()) {
+      return;
+    }
+    if (subject == transport_->local_host()) {
+      // Someone suspects us: refute with a higher incarnation.
+      if (state != State::kAlive && incarnation >= self_incarnation_) {
+        self_incarnation_ = incarnation + 1;
+        QueueUpdate(subject, State::kAlive, self_incarnation_);
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kAlive:
+        MarkAlive(subject, incarnation);
+        break;
+      case State::kSuspect:
+        Suspect(subject, incarnation);
+        break;
+      case State::kDead:
+        DeclareDead(subject, incarnation);
+        break;
+    }
+  }
+}
+
+std::vector<uint8_t> SwimMember::MakePingPayload(uint64_t seq, HostId subject) {
+  Writer w;
+  w.PutU64(seq);
+  w.PutU64(subject.value);
+  AppendGossip(w);
+  return w.Take();
+}
+
+void SwimMember::Tick() {
+  if (!running_) {
+    return;
+  }
+  tick_timer_ = transport_->env().Schedule(config_.protocol_period, [this] { Tick(); });
+  // Round-robin over a shuffled order (SWIM's bounded-time probing).
+  HostId target;
+  for (size_t i = 0; i < probe_order_.size(); ++i) {
+    const HostId candidate = probe_order_[probe_cursor_];
+    probe_cursor_ = (probe_cursor_ + 1) % probe_order_.size();
+    if (probe_cursor_ == 0) {
+      transport_->env().rng().Shuffle(probe_order_);
+    }
+    const auto it = members_.find(candidate);
+    if (it != members_.end() && it->second.state != State::kDead) {
+      target = candidate;
+      break;
+    }
+  }
+  if (!target.valid()) {
+    return;
+  }
+  const uint64_t seq = next_seq_++;
+  stats_.probes_sent++;
+  Probe probe;
+  probe.target = target;
+  probe.direct_timer = transport_->env().Schedule(config_.direct_timeout,
+                                                  [this, seq] { ProbeTimedOut(seq); });
+  // Verdict at the end of the protocol period (SWIM's bounded detection).
+  probe.final_timer = transport_->env().Schedule(config_.protocol_period * int64_t{9} / int64_t{10},
+                                                 [this, seq] { ProbeFinalCheck(seq); });
+  probes_.emplace(seq, probe);
+
+  WireMessage msg;
+  msg.to = target;
+  msg.type = msgtype::kSwimPing;
+  msg.category = MsgCategory::kApp;
+  msg.payload = MakePingPayload(seq, transport_->local_host());
+  transport_->Send(std::move(msg), nullptr);
+}
+
+void SwimMember::ProbeTimedOut(uint64_t seq) {
+  const auto it = probes_.find(seq);
+  if (it == probes_.end() || it->second.acked) {
+    return;
+  }
+  const HostId target = it->second.target;
+  // Indirect probes via k random proxies.
+  std::vector<HostId> proxies;
+  for (const auto& [h, m] : members_) {
+    if (h != target && m.state != State::kDead) {
+      proxies.push_back(h);
+    }
+  }
+  transport_->env().rng().Shuffle(proxies);
+  if (proxies.size() > static_cast<size_t>(config_.indirect_k)) {
+    proxies.resize(config_.indirect_k);
+  }
+  for (HostId proxy : proxies) {
+    stats_.indirect_probes_sent++;
+    WireMessage msg;
+    msg.to = proxy;
+    msg.type = msgtype::kSwimPingReq;
+    msg.category = MsgCategory::kApp;
+    msg.payload = MakePingPayload(seq, target);
+    transport_->Send(std::move(msg), nullptr);
+  }
+}
+
+void SwimMember::ProbeFinalCheck(uint64_t seq) {
+  const auto it = probes_.find(seq);
+  if (it == probes_.end()) {
+    return;
+  }
+  const Probe probe = it->second;
+  probes_.erase(it);
+  transport_->env().Cancel(probe.direct_timer);
+  if (probe.acked) {
+    return;
+  }
+  const auto mit = members_.find(probe.target);
+  if (mit != members_.end()) {
+    Suspect(probe.target, mit->second.incarnation);
+    QueueUpdate(probe.target, State::kSuspect, mit->second.incarnation);
+  }
+}
+
+void SwimMember::MarkProbeAcked(uint64_t seq, HostId subject) {
+  const auto it = probes_.find(seq);
+  if (it != probes_.end() && it->second.target == subject) {
+    it->second.acked = true;
+    transport_->env().Cancel(it->second.direct_timer);
+  }
+}
+
+void SwimMember::OnPing(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
+  r.GetU64();  // subject (self)
+  ConsumeGossip(r);
+  Writer w;
+  w.PutU64(seq);
+  w.PutU64(transport_->local_host().value);
+  AppendGossip(w);
+  WireMessage ack;
+  ack.to = msg.from;
+  ack.type = msgtype::kSwimAck;
+  ack.category = MsgCategory::kApp;
+  ack.payload = w.Take();
+  transport_->Send(std::move(ack), nullptr);
+}
+
+void SwimMember::OnAck(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
+  const HostId subject(r.GetU64());
+  ConsumeGossip(r);
+  if (!r.ok()) {
+    return;
+  }
+  MarkProbeAcked(seq, msg.from);
+  // If we probed this target for someone else, relay the ack.
+  const auto rit = relay_waiting_.find(seq);
+  if (rit != relay_waiting_.end()) {
+    Writer w;
+    w.PutU64(seq);
+    w.PutU64(subject.value);
+    AppendGossip(w);
+    WireMessage relay;
+    relay.to = rit->second;
+    relay.type = msgtype::kSwimPingReqAck;
+    relay.category = MsgCategory::kApp;
+    relay.payload = w.Take();
+    transport_->Send(std::move(relay), nullptr);
+    relay_waiting_.erase(rit);
+  }
+  MarkAlive(subject, 0);
+}
+
+void SwimMember::OnPingReq(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
+  const HostId target(r.GetU64());
+  ConsumeGossip(r);
+  if (!r.ok() || !target.valid()) {
+    return;
+  }
+  // Probe the target on the requester's behalf; relay any ack.
+  const HostId requester = msg.from;
+  Writer w;
+  w.PutU64(seq);
+  w.PutU64(target.value);
+  AppendGossip(w);
+  WireMessage probe;
+  probe.to = target;
+  probe.type = msgtype::kSwimPing;
+  probe.category = MsgCategory::kApp;
+  probe.payload = w.Take();
+  // Relay the target's ack back to the requester once it arrives (OnAck).
+  relay_waiting_[seq] = requester;
+  transport_->Send(std::move(probe), nullptr);
+}
+
+void SwimMember::OnPingReqAck(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
+  const HostId subject(r.GetU64());
+  ConsumeGossip(r);
+  if (!r.ok()) {
+    return;
+  }
+  MarkProbeAcked(seq, subject);
+  MarkAlive(subject, 0);
+}
+
+void SwimMember::Suspect(HostId target, uint32_t incarnation) {
+  const auto it = members_.find(target);
+  if (it == members_.end()) {
+    return;
+  }
+  Member& m = it->second;
+  if (m.state != State::kAlive || incarnation < m.incarnation) {
+    return;
+  }
+  m.state = State::kSuspect;
+  m.incarnation = incarnation;
+  transport_->env().Cancel(m.suspicion_timer);
+  m.suspicion_timer =
+      transport_->env().Schedule(config_.suspicion_timeout, [this, target, incarnation] {
+        DeclareDead(target, incarnation);
+        QueueUpdate(target, State::kDead, incarnation);
+      });
+}
+
+void SwimMember::DeclareDead(HostId target, uint32_t incarnation) {
+  const auto it = members_.find(target);
+  if (it == members_.end()) {
+    return;
+  }
+  Member& m = it->second;
+  if (m.state == State::kDead || incarnation < m.incarnation) {
+    return;
+  }
+  m.state = State::kDead;
+  m.incarnation = incarnation;
+  transport_->env().Cancel(m.suspicion_timer);
+  stats_.deaths_declared++;
+  if (on_death_) {
+    on_death_(target);
+  }
+}
+
+void SwimMember::MarkAlive(HostId target, uint32_t incarnation) {
+  const auto it = members_.find(target);
+  if (it == members_.end()) {
+    return;
+  }
+  Member& m = it->second;
+  if (m.state == State::kDead) {
+    return;  // deaths are sticky in our variant (rejoin would re-add)
+  }
+  if (m.state == State::kSuspect && incarnation >= m.incarnation) {
+    m.state = State::kAlive;
+    m.incarnation = incarnation;
+    transport_->env().Cancel(m.suspicion_timer);
+  }
+}
+
+}  // namespace fuse

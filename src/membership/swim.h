@@ -1,0 +1,127 @@
+// SWIM-style weakly consistent membership (Das et al., DSN 2002) — the
+// related-work baseline the paper contrasts FUSE against (section 2).
+//
+// Periodic random probing with indirect probes through k proxies, a
+// suspicion period before declaring death, and infection-style dissemination
+// of membership updates piggybacked on protocol messages. Used by benches to
+// demonstrate the semantic differences the paper argues: per-node up/down
+// verdicts versus FUSE's per-group failure notification, and the awkwardness
+// of intransitive connectivity failures under a membership abstraction.
+#ifndef FUSE_MEMBERSHIP_SWIM_H_
+#define FUSE_MEMBERSHIP_SWIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialize.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+struct SwimConfig {
+  Duration protocol_period = Duration::Seconds(2);
+  // Wait for a direct ack before falling back to indirect probes.
+  Duration direct_timeout = Duration::Millis(800);
+  int indirect_k = 3;
+  // Suspicion duration before a suspect is declared dead.
+  Duration suspicion_timeout = Duration::Seconds(8);
+  // Max piggybacked updates per message.
+  int gossip_fanout = 8;
+  // How many times each update is retransmitted before it ages out.
+  int gossip_retransmits = 6;
+};
+
+class SwimMember {
+ public:
+  enum class State : uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
+  // Invoked when a peer transitions to dead (false positive or real).
+  using DeathHandler = std::function<void(HostId)>;
+
+  SwimMember(Transport* transport, SwimConfig config = SwimConfig());
+  ~SwimMember();
+
+  SwimMember(const SwimMember&) = delete;
+  SwimMember& operator=(const SwimMember&) = delete;
+
+  // Seeds the membership list and starts the protocol period.
+  void Start(const std::vector<HostId>& peers);
+  void Stop();
+
+  void SetDeathHandler(DeathHandler h) { on_death_ = std::move(h); }
+
+  State StateOf(HostId h) const;
+  size_t NumAlive() const;
+  size_t NumDead() const;
+
+  struct Stats {
+    uint64_t probes_sent = 0;
+    uint64_t indirect_probes_sent = 0;
+    uint64_t deaths_declared = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Member {
+    State state = State::kAlive;
+    uint32_t incarnation = 0;
+    TimerId suspicion_timer;
+  };
+  struct Update {
+    HostId subject;
+    State state;
+    uint32_t incarnation;
+    int remaining_sends;
+  };
+
+  struct Probe {
+    HostId target;
+    bool acked = false;
+    TimerId direct_timer;
+    TimerId final_timer;
+  };
+
+  void Tick();
+  void OnPing(const WireMessage& msg);
+  void OnAck(const WireMessage& msg);
+  void OnPingReq(const WireMessage& msg);
+  void OnPingReqAck(const WireMessage& msg);
+
+  void MarkProbeAcked(uint64_t seq, HostId subject);
+  void ProbeTimedOut(uint64_t seq);
+  void ProbeFinalCheck(uint64_t seq);
+  void Suspect(HostId target, uint32_t incarnation);
+  void DeclareDead(HostId target, uint32_t incarnation);
+  void MarkAlive(HostId target, uint32_t incarnation);
+
+  void QueueUpdate(HostId subject, State state, uint32_t incarnation);
+  void AppendGossip(Writer& w);
+  void ConsumeGossip(Reader& r);
+  std::vector<uint8_t> MakePingPayload(uint64_t seq, HostId subject);
+
+  Transport* transport_;
+  SwimConfig config_;
+  bool running_ = false;
+
+  std::unordered_map<HostId, Member> members_;
+  std::vector<HostId> probe_order_;
+  size_t probe_cursor_ = 0;
+  uint32_t self_incarnation_ = 0;
+
+  uint64_t next_seq_ = 1;
+  std::unordered_map<uint64_t, Probe> probes_;  // outstanding probes by seq
+  TimerId tick_timer_;
+
+  std::deque<Update> gossip_;
+  // Proxy bookkeeping: seq -> requester awaiting a relayed ack.
+  std::unordered_map<uint64_t, HostId> relay_waiting_;
+  DeathHandler on_death_;
+  Stats stats_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_MEMBERSHIP_SWIM_H_

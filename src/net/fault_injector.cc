@@ -1,0 +1,45 @@
+#include "net/fault_injector.h"
+
+namespace fuse {
+
+void FaultInjector::SetHostDown(HostId h, bool down) {
+  if (down) {
+    down_hosts_.insert(h);
+  } else {
+    down_hosts_.erase(h);
+  }
+}
+
+void FaultInjector::BlockPair(HostId a, HostId b) { blocked_pairs_.insert(PairKey(a, b)); }
+
+void FaultInjector::UnblockPair(HostId a, HostId b) { blocked_pairs_.erase(PairKey(a, b)); }
+
+void FaultInjector::PartitionHosts(const std::vector<HostId>& group) {
+  const uint32_t id = next_partition_id_++;
+  for (HostId h : group) {
+    partition_of_[h] = id;
+  }
+}
+
+void FaultInjector::ClearPartitions() { partition_of_.clear(); }
+
+bool FaultInjector::IsBlocked(HostId a, HostId b) const {
+  if (down_hosts_.contains(a) || down_hosts_.contains(b)) {
+    return true;
+  }
+  if (blocked_pairs_.contains(PairKey(a, b))) {
+    return true;
+  }
+  if (!partition_of_.empty()) {
+    const auto ita = partition_of_.find(a);
+    const auto itb = partition_of_.find(b);
+    const uint32_t ga = ita == partition_of_.end() ? 0 : ita->second;
+    const uint32_t gb = itb == partition_of_.end() ? 0 : itb->second;
+    if (ga != gb) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fuse

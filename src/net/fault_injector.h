@@ -1,0 +1,58 @@
+// Host-level fault injection.
+//
+// The paper's failure model (section 3.5) is fail-stop nodes plus arbitrary
+// network failures: "any pattern of packet loss, duplication or re-ordering",
+// including partitions and intransitive connectivity (A reaches B, B reaches
+// C, A cannot reach C). This module expresses those as queryable rules that
+// the transport consults on every delivery attempt.
+#ifndef FUSE_NET_FAULT_INJECTOR_H_
+#define FUSE_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace fuse {
+
+class FaultInjector {
+ public:
+  // Fail-stop crash / full network disconnect of one host (the transport
+  // additionally clears that host's connections on crash).
+  void SetHostDown(HostId h, bool down);
+  bool IsHostDown(HostId h) const { return down_hosts_.contains(h); }
+
+  // Blocks the pair symmetrically (intransitive connectivity failures).
+  void BlockPair(HostId a, HostId b);
+  void UnblockPair(HostId a, HostId b);
+
+  // Partitions `group` from all other hosts: messages cross the boundary in
+  // neither direction. Multiple partitions may be layered; a host may appear
+  // in at most one group at a time.
+  void PartitionHosts(const std::vector<HostId>& group);
+  void ClearPartitions();
+
+  // True if traffic from a to b is currently impossible.
+  bool IsBlocked(HostId a, HostId b) const;
+
+  size_t NumDownHosts() const { return down_hosts_.size(); }
+
+ private:
+  static uint64_t PairKey(HostId a, HostId b) {
+    const uint64_t lo = a.value < b.value ? a.value : b.value;
+    const uint64_t hi = a.value < b.value ? b.value : a.value;
+    return (lo << 32) ^ hi;
+  }
+
+  std::unordered_set<HostId> down_hosts_;
+  std::unordered_set<uint64_t> blocked_pairs_;
+  // host -> partition group id; hosts in different groups cannot talk.
+  std::unordered_map<HostId, uint32_t> partition_of_;
+  uint32_t next_partition_id_ = 1;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_NET_FAULT_INJECTOR_H_

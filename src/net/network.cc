@@ -1,0 +1,13 @@
+#include "net/network.h"
+
+namespace fuse {
+
+HostId SimNetwork::AddHost(Rng& rng) { return AddHostAt(topology_.RandomRouter(rng)); }
+
+HostId SimNetwork::AddHostAt(RouterId router) {
+  const HostId id(host_routers_.size());
+  host_routers_.push_back(router);
+  return id;
+}
+
+}  // namespace fuse

@@ -1,0 +1,62 @@
+// SimNetwork: hosts attached to the router topology, plus the loss model and
+// fault rules the transport consults. This is the ModelNet-emulator
+// equivalent in our reproduction.
+#ifndef FUSE_NET_NETWORK_H_
+#define FUSE_NET_NETWORK_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/fault_injector.h"
+#include "net/topology.h"
+
+namespace fuse {
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(Topology topology) : topology_(std::move(topology)) {}
+
+  // Attaches a new host to a uniformly random router.
+  HostId AddHost(Rng& rng);
+  // Attaches a new host to a specific router (used to co-locate hosts, the
+  // analogue of running several virtual nodes on one cluster machine).
+  HostId AddHostAt(RouterId router);
+
+  size_t NumHosts() const { return host_routers_.size(); }
+  RouterId RouterOf(HostId h) const { return host_routers_[h.value]; }
+
+  // One-way latency and physical hop count between two hosts.
+  Topology::PathInfo GetPath(HostId a, HostId b) const {
+    return topology_.GetPath(host_routers_[a.value], host_routers_[b.value]);
+  }
+
+  // Uniform per-link packet loss probability (Figure 11/12 experiments).
+  void SetPerLinkLossRate(double p) { per_link_loss_ = p; }
+  double per_link_loss_rate() const { return per_link_loss_; }
+
+  // Probability that a single packet survives the a->b route.
+  double RouteSuccessProbability(HostId a, HostId b) const {
+    if (per_link_loss_ <= 0.0) {
+      return 1.0;
+    }
+    const auto path = GetPath(a, b);
+    return std::pow(1.0 - per_link_loss_, static_cast<double>(path.hops));
+  }
+
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  Topology topology_;
+  std::vector<RouterId> host_routers_;
+  FaultInjector faults_;
+  double per_link_loss_ = 0.0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_NET_NETWORK_H_

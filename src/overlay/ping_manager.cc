@@ -1,0 +1,187 @@
+#include "overlay/ping_manager.h"
+
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace fuse {
+
+PingManager::PingManager(Transport* transport, Duration period, Duration timeout)
+    : transport_(transport), period_(period), timeout_(timeout) {
+  transport_->RegisterHandler(msgtype::kOverlayPing,
+                              [this](const WireMessage& m) { OnPing(m); });
+  transport_->RegisterHandler(msgtype::kOverlayPingReply,
+                              [this](const WireMessage& m) { OnPingReply(m); });
+}
+
+PingManager::~PingManager() { Stop(); }
+
+void PingManager::CancelTimers(Peer& p) {
+  if (p.next_ping.valid()) {
+    transport_->env().Cancel(p.next_ping);
+    p.next_ping = TimerId();
+  }
+  if (p.timeout.valid()) {
+    transport_->env().Cancel(p.timeout);
+    p.timeout = TimerId();
+  }
+  p.awaiting_seq = 0;
+}
+
+void PingManager::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  for (auto& [host, peer] : peers_) {
+    if (!peer.next_ping.valid() && !peer.failed) {
+      SchedulePing(host,
+                   Duration::Micros(transport_->env().rng().UniformInt(0, period_.ToMicros())));
+    }
+  }
+}
+
+void PingManager::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  for (auto& [host, peer] : peers_) {
+    CancelTimers(peer);
+  }
+}
+
+void PingManager::UpdateNeighbors(const std::vector<HostId>& neighbors) {
+  // Remove peers no longer in the set.
+  std::unordered_map<HostId, bool> wanted;
+  for (HostId h : neighbors) {
+    wanted[h] = true;
+  }
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (!wanted.contains(it->first)) {
+      CancelTimers(it->second);
+      it = peers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Add new peers with a jittered first ping (spreads load; matches the
+  // steady-state message-rate accounting of section 7.5).
+  for (HostId h : neighbors) {
+    if (!peers_.contains(h)) {
+      Peer p;
+      peers_.emplace(h, p);
+      if (running_) {
+        SchedulePing(h,
+                     Duration::Micros(transport_->env().rng().UniformInt(0, period_.ToMicros())));
+      }
+    }
+  }
+}
+
+void PingManager::SchedulePing(HostId peer, Duration delay) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.failed) {
+    return;
+  }
+  it->second.next_ping =
+      transport_->env().Schedule(delay, [this, peer] { SendPing(peer); });
+}
+
+void PingManager::SendPing(HostId peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.failed || !running_) {
+    return;
+  }
+  Peer& p = it->second;
+  p.next_ping = TimerId();
+  const uint64_t seq = next_seq_++;
+  p.awaiting_seq = seq;
+
+  Writer w;
+  w.PutU64(seq);
+  std::vector<uint8_t> payload = provider_ ? provider_(peer) : std::vector<uint8_t>{};
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutBytes(payload.data(), payload.size());
+
+  WireMessage msg;
+  msg.to = peer;
+  msg.type = msgtype::kOverlayPing;
+  msg.category = MsgCategory::kOverlayPing;
+  msg.payload = w.Take();
+
+  p.timeout = transport_->env().Schedule(timeout_, [this, peer] { HandleFailure(peer); });
+  transport_->Send(std::move(msg), [this, peer](const Status& s) {
+    if (!s.ok()) {
+      HandleFailure(peer);
+    }
+  });
+}
+
+void PingManager::OnPing(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
+  const uint32_t len = r.GetU32();
+  std::vector<uint8_t> remote_payload(len);
+  r.GetBytes(remote_payload.data(), len);
+  if (!r.ok()) {
+    return;
+  }
+  // Reply with our own payload for this link (links are monitored from both
+  // sides; replies let the pinger check our view of the shared state).
+  Writer w;
+  w.PutU64(seq);
+  std::vector<uint8_t> payload = provider_ ? provider_(msg.from) : std::vector<uint8_t>{};
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutBytes(payload.data(), payload.size());
+
+  WireMessage reply;
+  reply.to = msg.from;
+  reply.type = msgtype::kOverlayPingReply;
+  reply.category = MsgCategory::kOverlayPingReply;
+  reply.payload = w.Take();
+  transport_->Send(std::move(reply), nullptr);
+
+  if (observer_) {
+    observer_(msg.from, remote_payload);
+  }
+}
+
+void PingManager::OnPingReply(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
+  const uint32_t len = r.GetU32();
+  std::vector<uint8_t> remote_payload(len);
+  r.GetBytes(remote_payload.data(), len);
+  if (!r.ok()) {
+    return;
+  }
+  auto it = peers_.find(msg.from);
+  if (it != peers_.end() && it->second.awaiting_seq == seq) {
+    Peer& p = it->second;
+    p.awaiting_seq = 0;
+    if (p.timeout.valid()) {
+      transport_->env().Cancel(p.timeout);
+      p.timeout = TimerId();
+    }
+    SchedulePing(msg.from, period_);
+  }
+  if (observer_) {
+    observer_(msg.from, remote_payload);
+  }
+}
+
+void PingManager::HandleFailure(HostId peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.failed) {
+    return;
+  }
+  Peer& p = it->second;
+  CancelTimers(p);
+  p.failed = true;  // stop pinging; owner removes the peer via UpdateNeighbors
+  if (on_failure_) {
+    on_failure_(peer);
+  }
+}
+
+}  // namespace fuse

@@ -1,0 +1,83 @@
+// Liveness checking of routing-table neighbors.
+//
+// Every distinct routing-table neighbor is pinged once per period (60 s in
+// the paper, with a 20 s timeout — section 7.4). Each ping request and reply
+// carries an opaque client payload: this is the hook FUSE uses to piggyback
+// its 20-byte SHA-1 hash of the jointly monitored group list (section 6.1),
+// so FUSE adds no messages of its own in the failure-free steady state.
+// Links are monitored from both sides: each endpoint pings independently.
+#ifndef FUSE_OVERLAY_PING_MANAGER_H_
+#define FUSE_OVERLAY_PING_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+class PingManager {
+ public:
+  // Returns the payload to attach to a ping (request or reply) on the link to
+  // `neighbor`.
+  using PayloadProvider = std::function<std::vector<uint8_t>(HostId neighbor)>;
+  // Observes the payload the remote side attached (fires for both requests
+  // and replies received).
+  using PayloadObserver = std::function<void(HostId neighbor, const std::vector<uint8_t>&)>;
+  // A neighbor failed to acknowledge a ping within the timeout (or the
+  // connection broke).
+  using FailureHandler = std::function<void(HostId neighbor)>;
+
+  PingManager(Transport* transport, Duration period, Duration timeout);
+  ~PingManager();
+
+  PingManager(const PingManager&) = delete;
+  PingManager& operator=(const PingManager&) = delete;
+
+  void SetPayloadProvider(PayloadProvider p) { provider_ = std::move(p); }
+  void SetPayloadObserver(PayloadObserver o) { observer_ = std::move(o); }
+  void SetFailureHandler(FailureHandler h) { on_failure_ = std::move(h); }
+
+  // Reconciles the pinged set with the current neighbor list: new neighbors
+  // get a jittered first ping; removed neighbors stop being pinged.
+  void UpdateNeighbors(const std::vector<HostId>& neighbors);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  size_t NumPeers() const { return peers_.size(); }
+
+ private:
+  struct Peer {
+    TimerId next_ping;
+    TimerId timeout;
+    uint64_t awaiting_seq = 0;  // nonzero while a ping is outstanding
+    bool failed = false;        // failure already reported; awaiting removal
+  };
+
+  void SchedulePing(HostId peer, Duration delay);
+  void SendPing(HostId peer);
+  void OnPing(const WireMessage& msg);
+  void OnPingReply(const WireMessage& msg);
+  void HandleFailure(HostId peer);
+  void CancelTimers(Peer& p);
+
+  Transport* transport_;
+  Duration period_;
+  Duration timeout_;
+  PayloadProvider provider_;
+  PayloadObserver observer_;
+  FailureHandler on_failure_;
+  std::unordered_map<HostId, Peer> peers_;
+  uint64_t next_seq_ = 1;
+  bool running_ = false;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_OVERLAY_PING_MANAGER_H_

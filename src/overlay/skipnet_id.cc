@@ -1,0 +1,41 @@
+#include "overlay/skipnet_id.h"
+
+#include "common/logging.h"
+
+namespace fuse {
+
+uint32_t NumericId::Digit(int h, int bits_per_digit) const {
+  const int shift = 64 - (h + 1) * bits_per_digit;
+  FUSE_CHECK(shift >= 0) << "digit index out of range";
+  return static_cast<uint32_t>((bits_ >> shift) & ((uint64_t{1} << bits_per_digit) - 1));
+}
+
+bool NumericId::SharesPrefix(const NumericId& other, int h, int bits_per_digit) const {
+  if (h <= 0) {
+    return true;
+  }
+  const int bits = h * bits_per_digit;
+  if (bits >= 64) {
+    return bits_ == other.bits_;
+  }
+  return (bits_ >> (64 - bits)) == (other.bits_ >> (64 - bits));
+}
+
+bool CwInInterval(const std::string& x, const std::string& a, const std::string& b) {
+  if (a == b) {
+    return true;  // whole ring
+  }
+  if (a < b) {
+    return a < x && x <= b;
+  }
+  return x > a || x <= b;  // interval wraps through the name-space origin
+}
+
+bool CwStrictlyBetween(const std::string& x, const std::string& a, const std::string& b) {
+  if (x == b) {
+    return false;
+  }
+  return CwInInterval(x, a, b);
+}
+
+}  // namespace fuse

@@ -1,0 +1,69 @@
+// SkipNet identifiers and circular name-space arithmetic.
+//
+// A SkipNet node (Harvey et al., USITS 2003) has two identities: a *name ID*
+// (a string; nodes are arranged in one circular ring sorted lexicographically
+// by name) and a random *numeric ID*. Level-h rings partition nodes by the
+// first h digits (base-b) of the numeric ID; the paper's FUSE deployment uses
+// base 8 (section 7.1).
+#ifndef FUSE_OVERLAY_SKIPNET_ID_H_
+#define FUSE_OVERLAY_SKIPNET_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+
+namespace fuse {
+
+// A reference to an overlay node: its name plus the host it runs on.
+struct NodeRef {
+  std::string name;
+  HostId host;
+
+  bool valid() const { return host.valid() && !name.empty(); }
+  void Reset() {
+    name.clear();
+    host = HostId();
+  }
+
+  friend bool operator==(const NodeRef& a, const NodeRef& b) {
+    return a.host == b.host && a.name == b.name;
+  }
+  friend bool operator!=(const NodeRef& a, const NodeRef& b) { return !(a == b); }
+};
+
+// Numeric-ID digit helpers. Digits are taken from the most significant bits
+// downward so that longer shared prefixes correspond to higher ring levels.
+class NumericId {
+ public:
+  NumericId() = default;
+  explicit NumericId(uint64_t bits) : bits_(bits) {}
+
+  uint64_t bits() const { return bits_; }
+
+  // The h-th digit (0-based from the most significant), base 2^bits_per_digit.
+  uint32_t Digit(int h, int bits_per_digit) const;
+
+  // True if `other` shares the first `h` digits with this id.
+  bool SharesPrefix(const NumericId& other, int h, int bits_per_digit) const;
+
+  friend bool operator==(NumericId a, NumericId b) { return a.bits_ == b.bits_; }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+// Circular (wrapping) lexicographic name order helpers. The ring is ordered
+// by increasing name; "clockwise" walks toward larger names and wraps.
+//
+// True iff walking clockwise from `a` (exclusive) reaches `x` no later than
+// `b` (inclusive); i.e. x is in the circular interval (a, b]. When a == b the
+// interval is the entire ring.
+bool CwInInterval(const std::string& x, const std::string& a, const std::string& b);
+
+// True iff `x` is strictly between a and b walking clockwise: x in (a, b).
+bool CwStrictlyBetween(const std::string& x, const std::string& a, const std::string& b);
+
+}  // namespace fuse
+
+#endif  // FUSE_OVERLAY_SKIPNET_ID_H_

@@ -1,0 +1,117 @@
+#include "rpc/rpc.h"
+
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace fuse {
+
+RpcNode::RpcNode(Transport* transport) : transport_(transport) {
+  transport_->RegisterHandler(msgtype::kRpcRequest,
+                              [this](const WireMessage& m) { OnRequest(m); });
+  transport_->RegisterHandler(msgtype::kRpcResponse,
+                              [this](const WireMessage& m) { OnResponse(m); });
+}
+
+RpcNode::~RpcNode() {
+  // Cancel pending timers. Callbacks are dropped, NOT invoked: at teardown
+  // the objects they capture may already be destroyed.
+  for (auto& [id, out] : outstanding_) {
+    transport_->env().Cancel(out.timer);
+  }
+  outstanding_.clear();
+}
+
+void RpcNode::Handle(uint16_t method, MethodHandler handler) {
+  methods_[method] = std::move(handler);
+}
+
+void RpcNode::Call(HostId dest, uint16_t method, std::vector<uint8_t> request, Duration timeout,
+                   ResponseCallback cb, MsgCategory category) {
+  const uint64_t rpc_id = next_rpc_id_++;
+
+  Writer w;
+  w.PutU64(rpc_id);
+  w.PutU16(method);
+  w.PutU32(static_cast<uint32_t>(request.size()));
+  w.PutBytes(request.data(), request.size());
+
+  Outstanding out;
+  out.cb = std::move(cb);
+  out.timer = transport_->env().Schedule(timeout, [this, rpc_id] {
+    Complete(rpc_id, Status::Timeout("rpc timeout"), {});
+  });
+  outstanding_.emplace(rpc_id, std::move(out));
+
+  WireMessage msg;
+  msg.to = dest;
+  msg.type = msgtype::kRpcRequest;
+  msg.category = category;
+  msg.payload = w.Take();
+  transport_->Send(std::move(msg), [this, rpc_id](const Status& s) {
+    if (!s.ok()) {
+      Complete(rpc_id, s, {});
+    }
+  });
+}
+
+void RpcNode::OnRequest(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t rpc_id = r.GetU64();
+  const uint16_t method = r.GetU16();
+  const uint32_t len = r.GetU32();
+  std::vector<uint8_t> body(len);
+  r.GetBytes(body.data(), len);
+  if (!r.ok()) {
+    return;
+  }
+
+  std::vector<uint8_t> reply;
+  uint8_t ok = 0;
+  const auto it = methods_.find(method);
+  if (it != methods_.end()) {
+    reply = it->second(msg.from, body);
+    ok = 1;
+  }
+
+  Writer w;
+  w.PutU64(rpc_id);
+  w.PutU8(ok);
+  w.PutU32(static_cast<uint32_t>(reply.size()));
+  w.PutBytes(reply.data(), reply.size());
+
+  WireMessage resp;
+  resp.to = msg.from;
+  resp.type = msgtype::kRpcResponse;
+  resp.category = msg.category;
+  resp.payload = w.Take();
+  transport_->Send(std::move(resp), nullptr);
+}
+
+void RpcNode::OnResponse(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const uint64_t rpc_id = r.GetU64();
+  const uint8_t ok = r.GetU8();
+  const uint32_t len = r.GetU32();
+  std::vector<uint8_t> body(len);
+  r.GetBytes(body.data(), len);
+  if (!r.ok()) {
+    return;
+  }
+  Complete(rpc_id, ok ? Status::Ok() : Status::NotFound("no such rpc method"), body);
+}
+
+void RpcNode::Complete(uint64_t rpc_id, const Status& status, const std::vector<uint8_t>& reply) {
+  const auto it = outstanding_.find(rpc_id);
+  if (it == outstanding_.end()) {
+    return;  // duplicate completion (late reply after timeout): drop
+  }
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  transport_->env().Cancel(out.timer);
+  if (out.cb) {
+    out.cb(status, reply);
+  }
+}
+
+}  // namespace fuse

@@ -1,0 +1,59 @@
+// Request/response RPC over the transport, with per-call timeouts.
+//
+// Used by the calibration workload (Figure 6) and by applications; FUSE's own
+// direct exchanges (create/repair) use explicit wire messages as in the paper.
+#ifndef FUSE_RPC_RPC_H_
+#define FUSE_RPC_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+class RpcNode {
+ public:
+  using ResponseCallback = std::function<void(const Status&, const std::vector<uint8_t>& reply)>;
+  // Invoked on the server host; the returned bytes are sent back as the reply.
+  using MethodHandler =
+      std::function<std::vector<uint8_t>(HostId caller, const std::vector<uint8_t>& request)>;
+
+  explicit RpcNode(Transport* transport);
+  ~RpcNode();
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  // Registers the server-side handler for `method`.
+  void Handle(uint16_t method, MethodHandler handler);
+
+  // Issues a call; `cb` fires exactly once with the reply, a timeout, or a
+  // transport error.
+  void Call(HostId dest, uint16_t method, std::vector<uint8_t> request, Duration timeout,
+            ResponseCallback cb, MsgCategory category = MsgCategory::kRpc);
+
+  size_t PendingCalls() const { return outstanding_.size(); }
+
+ private:
+  struct Outstanding {
+    ResponseCallback cb;
+    TimerId timer;
+  };
+
+  void OnRequest(const WireMessage& msg);
+  void OnResponse(const WireMessage& msg);
+  void Complete(uint64_t rpc_id, const Status& status, const std::vector<uint8_t>& reply);
+
+  Transport* transport_;
+  std::unordered_map<uint16_t, MethodHandler> methods_;
+  std::unordered_map<uint64_t, Outstanding> outstanding_;
+  uint64_t next_rpc_id_ = 1;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_RPC_RPC_H_

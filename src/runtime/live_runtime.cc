@@ -1,0 +1,179 @@
+#include "runtime/live_runtime.h"
+
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fuse {
+
+LiveRuntime::LiveRuntime(Config config)
+    : config_(config), rng_(config.seed), start_(std::chrono::steady_clock::now()) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+LiveRuntime::~LiveRuntime() { Stop(); }
+
+void LiveRuntime::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+TimePoint LiveRuntime::Now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return TimePoint::FromMicros(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+TimerId LiveRuntime::Schedule(Duration d, std::function<void()> fn) {
+  const auto when = std::chrono::steady_clock::now() + std::chrono::microseconds(d.ToMicros());
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+    queue_.emplace(std::make_pair(when, seq), std::move(fn));
+  }
+  cv_.notify_all();
+  return TimerId(seq);
+}
+
+bool LiveRuntime::Cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!id.valid() || id.value >= next_seq_ || cancelled_.contains(id.value)) {
+    return false;
+  }
+  cancelled_.insert(id.value);
+  return true;
+}
+
+void LiveRuntime::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stopping_) {
+      return;
+    }
+    if (queue_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const auto it = queue_.begin();
+    const auto when = it->first.first;
+    const auto now = std::chrono::steady_clock::now();
+    if (when > now) {
+      cv_.wait_until(lock, when);
+      continue;
+    }
+    const uint64_t seq = it->first.second;
+    std::function<void()> fn = std::move(it->second);
+    queue_.erase(it);
+    const auto cit = cancelled_.find(seq);
+    if (cit != cancelled_.end()) {
+      cancelled_.erase(cit);
+      continue;
+    }
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+LiveTransport* LiveRuntime::CreateHost() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const HostId id(hosts_.size());
+  hosts_.push_back(std::make_unique<LiveTransport>(this, id));
+  return hosts_.back().get();
+}
+
+void LiveRuntime::RunOnLoop(std::function<void()> fn) {
+  std::promise<void> done;
+  Schedule(Duration::Zero(), [&fn, &done] {
+    fn();
+    done.set_value();
+  });
+  done.get_future().wait();
+}
+
+void LiveRuntime::SetHostDown(HostId h, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down) {
+    down_hosts_.insert(h);
+  } else {
+    down_hosts_.erase(h);
+  }
+}
+
+void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
+  bool blocked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked = down_hosts_.contains(msg.from) || down_hosts_.contains(msg.to);
+  }
+  metrics_.IncMessage(msg.category, msg.WireSize());
+  const bool lost = blocked || rng_.Bernoulli(config_.loss_probability);
+  const Duration latency = Duration::Micros(rng_.UniformInt(
+      config_.min_latency.ToMicros(), config_.max_latency.ToMicros()));
+  if (lost) {
+    // Reliable-transport semantics: the sender eventually learns the send
+    // failed (timeout compressed to a few latencies here).
+    if (cb) {
+      Schedule(latency * int64_t{4},
+               [cb = std::move(cb)] { cb(Status::Broken("live: peer unreachable")); });
+    }
+    return;
+  }
+  const HostId to = msg.to;
+  Schedule(latency, [this, msg = std::move(msg), to] {
+    Transport::Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (down_hosts_.contains(to)) {
+        return;
+      }
+      const auto hit = handlers_.find(to);
+      if (hit == handlers_.end()) {
+        return;
+      }
+      const auto tit = hit->second.find(msg.type);
+      if (tit == hit->second.end()) {
+        return;
+      }
+      handler = tit->second;
+    }
+    handler(msg);
+  });
+  if (cb) {
+    Schedule(latency * int64_t{2}, [cb = std::move(cb)] { cb(Status::Ok()); });
+  }
+}
+
+void LiveRuntime::RegisterHandler(HostId h, uint16_t type, Transport::Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[h][type] = std::move(handler);
+}
+
+void LiveRuntime::UnregisterAllHandlers(HostId h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(h);
+}
+
+void LiveTransport::Send(WireMessage msg, SendCallback cb) {
+  msg.from = host_;
+  runtime_->Send(std::move(msg), std::move(cb));
+}
+
+void LiveTransport::RegisterHandler(uint16_t type, Handler handler) {
+  runtime_->RegisterHandler(host_, type, std::move(handler));
+}
+
+void LiveTransport::UnregisterAllHandlers() { runtime_->UnregisterAllHandlers(host_); }
+
+}  // namespace fuse

@@ -1,0 +1,117 @@
+// LiveRuntime: a wall-clock, threaded messaging layer.
+//
+// The paper ran the identical code base on a simulator and on a live cluster,
+// differing only in the base messaging layer (section 7). This runtime is our
+// live counterpart: the same Node stack (overlay + FUSE) driven by real time.
+// All protocol code runs on one event-loop thread; application threads
+// interact through blocking facades (e.g. CreateGroupBlocking) or by posting
+// closures. Message latency is configurable; delivery is in-process.
+#ifndef FUSE_RUNTIME_LIVE_RUNTIME_H_
+#define FUSE_RUNTIME_LIVE_RUNTIME_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/environment.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+class LiveTransport;
+
+class LiveRuntime : public Environment {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    Duration min_latency = Duration::Millis(1);
+    Duration max_latency = Duration::Millis(5);
+    double loss_probability = 0.0;
+  };
+
+  explicit LiveRuntime(Config config);
+  ~LiveRuntime() override;
+
+  // Environment (callable from any thread; handlers run on the loop thread).
+  TimePoint Now() const override;
+  TimerId Schedule(Duration d, std::function<void()> fn) override;
+  bool Cancel(TimerId id) override;
+  Rng& rng() override { return rng_; }
+  Metrics& metrics() override { return metrics_; }
+
+  // Creates a transport endpoint for a new host.
+  LiveTransport* CreateHost();
+
+  // Runs `fn` on the loop thread and waits for it to finish.
+  void RunOnLoop(std::function<void()> fn);
+
+  // Marks a host down: its messages are dropped (fail-stop crash).
+  void SetHostDown(HostId h, bool down);
+
+  void Stop();
+
+  // --- used by LiveTransport ---
+  void Send(WireMessage msg, Transport::SendCallback cb);
+  void RegisterHandler(HostId h, uint16_t type, Transport::Handler handler);
+  void UnregisterAllHandlers(HostId h);
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point when;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void Loop();
+
+  Config config_;
+  Rng rng_;
+  Metrics metrics_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::multimap<std::pair<std::chrono::steady_clock::time_point, uint64_t>,
+                std::function<void()>>
+      queue_;
+  std::unordered_set<uint64_t> cancelled_;
+  uint64_t next_seq_ = 1;
+  bool stopping_ = false;
+
+  std::vector<std::unique_ptr<LiveTransport>> hosts_;
+  std::unordered_map<HostId, std::unordered_map<uint16_t, Transport::Handler>> handlers_;
+  std::unordered_set<HostId> down_hosts_;
+
+  std::thread thread_;
+};
+
+class LiveTransport : public Transport {
+ public:
+  LiveTransport(LiveRuntime* runtime, HostId host) : runtime_(runtime), host_(host) {}
+
+  void Send(WireMessage msg, SendCallback cb) override;
+  void RegisterHandler(uint16_t type, Handler handler) override;
+  void UnregisterAllHandlers() override;
+  HostId local_host() const override { return host_; }
+  Environment& env() override { return *runtime_; }
+
+ private:
+  LiveRuntime* runtime_;
+  HostId host_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_RUNTIME_LIVE_RUNTIME_H_

@@ -1,0 +1,18 @@
+#include "runtime/node.h"
+
+namespace fuse {
+
+Node::Node(Transport* transport, std::string name, NumericId numeric,
+           SkipNetConfig overlay_config, FuseParams fuse_params)
+    : transport_(transport),
+      rpc_(std::make_unique<RpcNode>(transport)),
+      overlay_(std::make_unique<SkipNetNode>(transport, rpc_.get(), std::move(name), numeric,
+                                             overlay_config)),
+      fuse_(std::make_unique<FuseNode>(transport, overlay_.get(), fuse_params)) {}
+
+void Node::ShutdownAll() {
+  fuse_->Shutdown();
+  overlay_->Shutdown();
+}
+
+}  // namespace fuse

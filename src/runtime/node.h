@@ -1,0 +1,46 @@
+// Node: the full per-host stack — transport, RPC, SkipNet overlay, FUSE.
+// Mirrors one "virtual node" process from the paper's evaluation.
+#ifndef FUSE_RUNTIME_NODE_H_
+#define FUSE_RUNTIME_NODE_H_
+
+#include <memory>
+#include <string>
+
+#include "fuse/fuse_node.h"
+#include "overlay/skipnet_node.h"
+#include "rpc/rpc.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+class Node {
+ public:
+  // `transport` must outlive the node (it is owned by the messaging fabric).
+  Node(Transport* transport, std::string name, NumericId numeric, SkipNetConfig overlay_config,
+       FuseParams fuse_params);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Transport* transport() { return transport_; }
+  RpcNode* rpc() { return rpc_.get(); }
+  SkipNetNode* overlay() { return overlay_.get(); }
+  FuseNode* fuse() { return fuse_.get(); }
+  const NodeRef& ref() const { return overlay_->self(); }
+  HostId host() const { return transport_->local_host(); }
+
+  // Stops all protocol activity (timers, pings). The object stays alive so
+  // that in-flight callbacks referencing it degrade to no-ops; this is how
+  // fail-stop crashes are modeled (the messaging fabric drops deliveries).
+  void ShutdownAll();
+
+ private:
+  Transport* transport_;
+  std::unique_ptr<RpcNode> rpc_;        // destroyed last (see member order)
+  std::unique_ptr<SkipNetNode> overlay_;
+  std::unique_ptr<FuseNode> fuse_;      // destroyed first: detaches overlay hooks
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_RUNTIME_NODE_H_

@@ -1,0 +1,36 @@
+// Environment: the capability surface node-level code (overlay, FUSE,
+// applications) is written against. The discrete-event simulator and the live
+// (wall-clock, threaded) runtime both implement it — mirroring the paper's
+// "identical code base except for the base messaging layer".
+#ifndef FUSE_SIM_ENVIRONMENT_H_
+#define FUSE_SIM_ENVIRONMENT_H_
+
+#include <functional>
+
+#include "common/ids.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace fuse {
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  virtual TimePoint Now() const = 0;
+
+  // Schedules `fn` to run after `d`. The returned id can cancel it.
+  virtual TimerId Schedule(Duration d, std::function<void()> fn) = 0;
+  virtual bool Cancel(TimerId id) = 0;
+
+  // Source of all randomness for code running in this environment.
+  virtual Rng& rng() = 0;
+
+  // Global message accounting.
+  virtual Metrics& metrics() = 0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_SIM_ENVIRONMENT_H_

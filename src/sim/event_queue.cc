@@ -1,0 +1,101 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fuse {
+
+TimerId EventQueue::ScheduleAt(TimePoint t, EventFn fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  const uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq, std::move(fn)});
+  ++live_count_;
+  return TimerId(seq);
+}
+
+TimerId EventQueue::ScheduleAfter(Duration d, EventFn fn) {
+  if (d < Duration::Zero()) {
+    d = Duration::Zero();
+  }
+  return ScheduleAt(now_ + d, std::move(fn));
+}
+
+bool EventQueue::Cancel(TimerId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  // We cannot know cheaply whether the id is still pending; track it in the
+  // cancelled set and reconcile at pop time. Guard against double-cancel by
+  // checking membership first.
+  if (cancelled_.contains(id.value)) {
+    return false;
+  }
+  // Ids from the future (never issued) are rejected.
+  if (id.value >= next_seq_) {
+    return false;
+  }
+  cancelled_.insert(id.value);
+  if (live_count_ > 0) {
+    --live_count_;
+  }
+  return true;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+void EventQueue::PopAndRun() {
+  // Move the entry out before popping so the callback may schedule/cancel.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  FUSE_CHECK(e.when >= now_) << "event queue time went backwards";
+  now_ = e.when;
+  --live_count_;
+  ++executed_;
+  e.fn();
+}
+
+bool EventQueue::RunOne() {
+  SkimCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  PopAndRun();
+  return true;
+}
+
+void EventQueue::RunUntil(TimePoint t) {
+  while (true) {
+    SkimCancelled();
+    if (heap_.empty() || heap_.top().when > t) {
+      break;
+    }
+    PopAndRun();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+void EventQueue::RunFor(Duration d) { RunUntil(now_ + d); }
+
+size_t EventQueue::RunAll(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && RunOne()) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace fuse

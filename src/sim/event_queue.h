@@ -1,0 +1,84 @@
+// Deterministic discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order, so two events scheduled
+// for the same instant run in the order they were scheduled — this makes the
+// whole simulation a deterministic function of its seed. Cancellation is lazy
+// (cancelled entries are skipped on pop), which keeps Schedule/Cancel O(log n).
+#ifndef FUSE_SIM_EVENT_QUEUE_H_
+#define FUSE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace fuse {
+
+class EventQueue {
+ public:
+  using EventFn = std::function<void()>;
+
+  TimePoint Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (clamped to Now if in the past).
+  TimerId ScheduleAt(TimePoint t, EventFn fn);
+
+  // Schedules `fn` after `d` (clamped to zero if negative).
+  TimerId ScheduleAfter(Duration d, EventFn fn);
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(TimerId id);
+
+  // Runs the single earliest event. Returns false if the queue is empty.
+  bool RunOne();
+
+  // Runs all events with time <= t, then advances the clock to exactly t.
+  void RunUntil(TimePoint t);
+
+  // Convenience: RunUntil(Now + d).
+  void RunFor(Duration d);
+
+  // Runs events until the queue drains or `max_events` fire; returns the
+  // number of events executed.
+  size_t RunAll(size_t max_events = SIZE_MAX);
+
+  bool Empty() const { return live_count_ == 0; }
+  size_t PendingCount() const { return live_count_; }
+  uint64_t ExecutedCount() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the top entry; assumes the queue is non-empty after
+  // cancelled-entry skipping was already performed by the caller.
+  void PopAndRun();
+  // Drops cancelled entries from the top of the heap.
+  void SkimCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+  TimePoint now_ = TimePoint::Zero();
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,15 @@
+#include "sim/simulation.h"
+
+namespace fuse {
+
+bool Simulation::RunUntilCondition(const std::function<bool()>& pred, TimePoint deadline) {
+  while (!pred()) {
+    if (queue_.Empty() || queue_.Now() >= deadline) {
+      return pred();
+    }
+    queue_.RunOne();
+  }
+  return true;
+}
+
+}  // namespace fuse

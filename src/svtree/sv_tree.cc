@@ -1,0 +1,428 @@
+#include "svtree/sv_tree.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace fuse {
+namespace {
+
+struct SubscribePayload {
+  std::string topic;
+  NodeRef subscriber;
+  uint32_t version = 0;
+  std::vector<NodeRef> bypassed;
+
+  std::vector<uint8_t> Encode() const {
+    Writer w;
+    w.PutString(topic);
+    WriteNodeRef(w, subscriber);
+    w.PutU32(version);
+    w.PutU32(static_cast<uint32_t>(bypassed.size()));
+    for (const auto& b : bypassed) {
+      WriteNodeRef(w, b);
+    }
+    return w.Take();
+  }
+
+  static bool Decode(const std::vector<uint8_t>& bytes, SubscribePayload* out) {
+    Reader r(bytes);
+    out->topic = r.GetString();
+    out->subscriber = ReadNodeRef(r);
+    out->version = r.GetU32();
+    const uint32_t n = r.GetU32();
+    out->bypassed.clear();
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      out->bypassed.push_back(ReadNodeRef(r));
+    }
+    return r.ok();
+  }
+};
+
+}  // namespace
+
+SvTreeNode::SvTreeNode(Transport* transport, SkipNetNode* overlay, FuseNode* fuse,
+                       SvTreeConfig config)
+    : transport_(transport), overlay_(overlay), fuse_(fuse), config_(config) {
+  overlay_->SetRoutedHandler(
+      kRoutedTag, [this](SkipNetNode::RoutedUpcall& u) { return OnSubscribeUpcall(u); });
+  transport_->RegisterHandler(msgtype::kSvSubscribeReply,
+                              [this](const WireMessage& m) { OnSubscribeReply(m); });
+  transport_->RegisterHandler(msgtype::kSvContent,
+                              [this](const WireMessage& m) { OnContent(m); });
+  transport_->RegisterHandler(msgtype::kSvSubscribe,  // used for LinkNotify
+                              [this](const WireMessage& m) { OnLinkNotify(m); });
+}
+
+SvTreeNode::~SvTreeNode() { Shutdown(); }
+
+void SvTreeNode::Shutdown() {
+  if (shutdown_) {
+    return;
+  }
+  shutdown_ = true;
+  for (auto& [topic, state] : topics_) {
+    if (state.subscribe_timer.valid()) {
+      transport_->env().Cancel(state.subscribe_timer);
+    }
+  }
+  topics_.clear();
+}
+
+bool SvTreeNode::Interested(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return false;
+  }
+  return it->second.is_root || it->second.uplink_live;
+}
+
+bool SvTreeNode::IsSubscribed(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it != topics_.end() && !it->second.is_root && !it->second.is_volunteer;
+}
+
+bool SvTreeNode::HasUplink(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it != topics_.end() && it->second.uplink_live;
+}
+
+size_t SvTreeNode::NumChildren(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.children.size();
+}
+
+// ---------------------------------------------------------------------------
+// Roles.
+// ---------------------------------------------------------------------------
+
+void SvTreeNode::CreateTopic(const std::string& topic) {
+  TopicState& state = topics_[topic];
+  state.is_root = true;
+  state.root = overlay_->self();
+}
+
+void SvTreeNode::Subscribe(const std::string& topic, const NodeRef& root,
+                           ContentHandler handler) {
+  TopicState& state = topics_[topic];
+  if (state.is_root) {
+    return;  // the root implicitly receives everything it publishes
+  }
+  state.root = root;
+  state.handler = std::move(handler);
+  state.is_volunteer = false;
+  if (state.uplink_live) {
+    return;  // already linked (e.g. was a volunteer before)
+  }
+  state.version++;
+  state.subscribe_attempts = 0;
+  SendSubscribe(topic);
+}
+
+void SvTreeNode::Volunteer(const std::string& topic, const NodeRef& root) {
+  TopicState& state = topics_[topic];
+  if (state.is_root || state.uplink_live) {
+    state.is_volunteer = !state.is_root;
+    return;
+  }
+  state.root = root;
+  state.is_volunteer = true;
+  state.handler = nullptr;
+  state.version++;
+  state.subscribe_attempts = 0;
+  SendSubscribe(topic);
+}
+
+void SvTreeNode::Unsubscribe(const std::string& topic) {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return;
+  }
+  // Collect the FUSE groups tied to our links, *then* drop the topic state,
+  // then signal: our own failure handlers find no state and do nothing, while
+  // parents and children garbage collect and re-route around us (paper 4:
+  // voluntary leave signals the group that a failure would have signalled).
+  std::vector<FuseId> to_signal;
+  if (it->second.uplink_live && it->second.uplink_group.valid()) {
+    to_signal.push_back(it->second.uplink_group);
+  }
+  for (const auto& [name, child] : it->second.children) {
+    if (child.group.valid()) {
+      to_signal.push_back(child.group);
+    }
+  }
+  if (it->second.subscribe_timer.valid()) {
+    transport_->env().Cancel(it->second.subscribe_timer);
+  }
+  topics_.erase(it);
+  for (const FuseId& id : to_signal) {
+    fuse_->SignalFailure(id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subscription path.
+// ---------------------------------------------------------------------------
+
+void SvTreeNode::SendSubscribe(const std::string& topic) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || shutdown_) {
+    return;
+  }
+  TopicState& state = it->second;
+  if (state.subscribe_attempts >= config_.max_subscribe_attempts) {
+    return;  // give up; the application may retry with a fresh Subscribe
+  }
+  state.subscribe_attempts++;
+
+  SubscribePayload payload;
+  payload.topic = topic;
+  payload.subscriber = overlay_->self();
+  payload.version = state.version;
+  overlay_->RouteByName(state.root.name, kRoutedTag, payload.Encode(), MsgCategory::kApp);
+
+  if (state.subscribe_timer.valid()) {
+    transport_->env().Cancel(state.subscribe_timer);
+  }
+  state.subscribe_timer =
+      transport_->env().Schedule(config_.subscribe_timeout, [this, topic] {
+        auto sit = topics_.find(topic);
+        if (sit != topics_.end()) {
+          sit->second.subscribe_timer = TimerId();
+          if (!sit->second.uplink_live) {
+            SendSubscribe(topic);
+          }
+        }
+      });
+}
+
+bool SvTreeNode::OnSubscribeUpcall(SkipNetNode::RoutedUpcall& upcall) {
+  if (shutdown_) {
+    return false;
+  }
+  SubscribePayload payload;
+  if (!SubscribePayload::Decode(upcall.payload, &payload)) {
+    return false;
+  }
+  if (payload.subscriber.host == transport_->local_host()) {
+    return false;  // our own subscription leaving: just forward
+  }
+  if (Interested(payload.topic)) {
+    // Intercept: we become the content parent; the subscriber learns the
+    // bypassed RPF nodes so it can tie them into the link's FUSE group.
+    Writer w;
+    w.PutString(payload.topic);
+    w.PutU32(payload.version);
+    WriteNodeRef(w, overlay_->self());
+    w.PutU32(static_cast<uint32_t>(payload.bypassed.size()));
+    for (const auto& b : payload.bypassed) {
+      WriteNodeRef(w, b);
+    }
+    WireMessage reply;
+    reply.to = payload.subscriber.host;
+    reply.type = msgtype::kSvSubscribeReply;
+    reply.category = MsgCategory::kApp;
+    reply.payload = w.Take();
+    transport_->Send(std::move(reply), nullptr);
+    return true;  // consumed: the subscription stops here
+  }
+  // Not interested: we are a bypassed RPF node; record ourselves into the
+  // payload so the eventual content link fate-shares with us.
+  payload.bypassed.push_back(overlay_->self());
+  upcall.payload = payload.Encode();
+  return false;
+}
+
+void SvTreeNode::OnSubscribeReply(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const std::string topic = r.GetString();
+  const uint32_t version = r.GetU32();
+  const NodeRef parent = ReadNodeRef(r);
+  const uint32_t n = r.GetU32();
+  std::vector<NodeRef> bypassed;
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    bypassed.push_back(ReadNodeRef(r));
+  }
+  if (!r.ok()) {
+    return;
+  }
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || it->second.version != version || it->second.uplink_live) {
+    return;  // stale reply (old version stamp) — paper 3.3/4 race handling
+  }
+  EstablishUplink(topic, it->second, parent, version, bypassed);
+}
+
+void SvTreeNode::EstablishUplink(const std::string& topic, TopicState& state,
+                                 const NodeRef& parent, uint32_t version,
+                                 const std::vector<NodeRef>& bypassed) {
+  if (state.subscribe_timer.valid()) {
+    transport_->env().Cancel(state.subscribe_timer);
+    state.subscribe_timer = TimerId();
+  }
+  // One FUSE group ties together the content link endpoints and the bypassed
+  // RPF nodes (paper section 4).
+  std::vector<NodeRef> members;
+  members.push_back(parent);
+  for (const auto& b : bypassed) {
+    members.push_back(b);
+  }
+  fuse_->CreateGroup(
+      members, [this, topic, parent, version, size = members.size() + 1](const Status& s,
+                                                                         FuseId id) {
+        auto it = topics_.find(topic);
+        if (it == topics_.end() || it->second.version != version) {
+          // The world moved on while the group was being created; if the
+          // group came up, tear it down so no state is orphaned.
+          if (s.ok()) {
+            fuse_->SignalFailure(id);
+          }
+          return;
+        }
+        TopicState& st = it->second;
+        if (!s.ok()) {
+          st.version++;
+          st.subscribe_attempts = 0;
+          ScheduleResubscribe(topic);
+          return;
+        }
+        st.uplink_live = true;
+        st.parent = parent;
+        st.uplink_group = id;
+        stats_.links_created++;
+        stats_.group_sizes.push_back(static_cast<int>(size));
+        fuse_->RegisterFailureHandler(id, [this, topic, version](FuseId) {
+          auto tit = topics_.find(topic);
+          if (tit == topics_.end() || tit->second.version != version) {
+            return;  // stale notification: a newer link exists (version stamp)
+          }
+          TopicState& ts = tit->second;
+          ts.uplink_live = false;
+          ts.uplink_group = FuseId();
+          stats_.links_garbage_collected++;
+          stats_.resubscribes++;
+          ts.version++;
+          ts.subscribe_attempts = 0;
+          ScheduleResubscribe(topic);
+        });
+        // Tell the parent which FUSE group guards this link so it can tie
+        // its child state to the same fate.
+        Writer w;
+        w.PutString(topic);
+        w.PutU32(version);
+        WriteNodeRef(w, overlay_->self());
+        WriteFuseId(w, id);
+        WireMessage notify;
+        notify.to = parent.host;
+        notify.type = msgtype::kSvSubscribe;
+        notify.category = MsgCategory::kApp;
+        notify.payload = w.Take();
+        transport_->Send(std::move(notify), nullptr);
+      });
+}
+
+void SvTreeNode::ScheduleResubscribe(const std::string& topic) {
+  if (shutdown_) {
+    return;
+  }
+  const Duration jitter =
+      Duration::Micros(transport_->env().rng().UniformInt(0, 1000000));
+  transport_->env().Schedule(config_.resubscribe_delay + jitter, [this, topic] {
+    auto it = topics_.find(topic);
+    if (it != topics_.end() && !it->second.uplink_live && !it->second.is_root) {
+      SendSubscribe(topic);
+    }
+  });
+}
+
+void SvTreeNode::OnLinkNotify(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const std::string topic = r.GetString();
+  const uint32_t version = r.GetU32();
+  const NodeRef child = ReadNodeRef(r);
+  const FuseId id = ReadFuseId(r);
+  if (!r.ok()) {
+    return;
+  }
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || !Interested(topic)) {
+    // We are no longer a valid parent (left between reply and notify):
+    // fail the link so the child re-routes.
+    fuse_->SignalFailure(id);
+    return;
+  }
+  ChildLink link;
+  link.child = child;
+  link.version = version;
+  link.group = id;
+  it->second.children[child.name] = link;
+  fuse_->RegisterFailureHandler(id, [this, topic, name = child.name, version](FuseId) {
+    auto tit = topics_.find(topic);
+    if (tit == topics_.end()) {
+      return;
+    }
+    const auto cit = tit->second.children.find(name);
+    if (cit != tit->second.children.end() && cit->second.version == version) {
+      tit->second.children.erase(cit);
+      stats_.links_garbage_collected++;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Content path.
+// ---------------------------------------------------------------------------
+
+void SvTreeNode::Publish(const std::string& topic, std::vector<uint8_t> data) {
+  auto it = topics_.find(topic);
+  FUSE_CHECK(it != topics_.end() && it->second.is_root) << "Publish on a non-root node";
+  const uint64_t seq = next_pub_seq_++;
+  it->second.seen_seqs.insert(seq);
+  ForwardContent(topic, it->second, seq, data);
+}
+
+void SvTreeNode::ForwardContent(const std::string& topic, TopicState& state, uint64_t seq,
+                                const std::vector<uint8_t>& data) {
+  for (const auto& [name, child] : state.children) {
+    Writer w;
+    w.PutString(topic);
+    w.PutU64(seq);
+    w.PutU32(static_cast<uint32_t>(data.size()));
+    w.PutBytes(data.data(), data.size());
+    WireMessage msg;
+    msg.to = child.child.host;
+    msg.type = msgtype::kSvContent;
+    msg.category = MsgCategory::kApp;
+    msg.payload = w.Take();
+    transport_->Send(std::move(msg), nullptr);
+    stats_.content_forwarded++;
+  }
+}
+
+void SvTreeNode::OnContent(const WireMessage& msg) {
+  Reader r(msg.payload);
+  const std::string topic = r.GetString();
+  const uint64_t seq = r.GetU64();
+  const uint32_t len = r.GetU32();
+  std::vector<uint8_t> data(len);
+  r.GetBytes(data.data(), len);
+  if (!r.ok()) {
+    return;
+  }
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return;
+  }
+  TopicState& state = it->second;
+  if (!state.seen_seqs.insert(seq).second) {
+    return;  // duplicate
+  }
+  if (state.handler && !state.is_volunteer) {
+    stats_.content_received++;
+    state.handler(topic, seq, data);
+  }
+  ForwardContent(topic, state, seq, data);
+}
+
+}  // namespace fuse

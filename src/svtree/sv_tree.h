@@ -1,0 +1,143 @@
+// Subscriber/Volunteer (SV) trees: the scalable event delivery application
+// FUSE was invented for (paper section 4; Herald project).
+//
+// An SV tree routes content around non-interested overlay nodes: a subscriber
+// routes its subscription toward the tree root along overlay (RPF) paths; the
+// first *interested* node (root, established subscriber, or volunteer) on the
+// path intercepts it and becomes the content parent, creating a direct
+// content-forwarding link that bypasses the non-interested intermediate
+// nodes.
+//
+// Failure handling is the paper's design pattern verbatim: each
+// content-forwarding link is tied to one FUSE group whose members are the
+// link endpoints plus the bypassed RPF nodes; failure notification garbage
+// collects all related state and the subscriber re-subscribes under a new
+// version stamp (version stamps keep late notifications from acting on new
+// links). A voluntary leave explicitly signals the same FUSE groups a crash
+// would have signalled.
+#ifndef FUSE_SVTREE_SV_TREE_H_
+#define FUSE_SVTREE_SV_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fuse/fuse_node.h"
+#include "overlay/skipnet_node.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+struct SvTreeConfig {
+  Duration subscribe_timeout = Duration::Seconds(30);
+  Duration resubscribe_delay = Duration::Seconds(2);
+  int max_subscribe_attempts = 5;
+};
+
+class SvTreeNode {
+ public:
+  // Delivery callback: content published on `topic`.
+  using ContentHandler =
+      std::function<void(const std::string& topic, uint64_t seq, const std::vector<uint8_t>&)>;
+
+  // The overlay routed-message tag SV trees claim for subscriptions.
+  static constexpr uint16_t kRoutedTag = 2;
+
+  struct Stats {
+    uint64_t content_received = 0;
+    uint64_t content_forwarded = 0;
+    uint64_t resubscribes = 0;
+    uint64_t links_created = 0;
+    uint64_t links_garbage_collected = 0;
+    // Sizes (member count) of the FUSE groups created for our uplinks.
+    std::vector<int> group_sizes;
+  };
+
+  SvTreeNode(Transport* transport, SkipNetNode* overlay, FuseNode* fuse,
+             SvTreeConfig config = SvTreeConfig());
+  ~SvTreeNode();
+
+  SvTreeNode(const SvTreeNode&) = delete;
+  SvTreeNode& operator=(const SvTreeNode&) = delete;
+
+  // --- root role ---
+  // Declares this node the rendezvous root for `topic`.
+  void CreateTopic(const std::string& topic);
+  // Publishes to all current subscribers via the content-forwarding tree.
+  void Publish(const std::string& topic, std::vector<uint8_t> data);
+
+  // --- subscriber role ---
+  // Subscribes; content arrives via `handler`. The tree root is identified
+  // by its overlay node reference.
+  void Subscribe(const std::string& topic, const NodeRef& root, ContentHandler handler);
+  // Voluntary departure: signals the uplink FUSE group and the groups of any
+  // children links through us (paper: leave == simulated failure).
+  void Unsubscribe(const std::string& topic);
+  // Volunteers forward content for topics they do not consume.
+  void Volunteer(const std::string& topic, const NodeRef& root);
+
+  bool IsSubscribed(const std::string& topic) const;
+  bool HasUplink(const std::string& topic) const;
+  size_t NumChildren(const std::string& topic) const;
+  const Stats& stats() const { return stats_; }
+
+  void Shutdown();
+
+ private:
+  struct ChildLink {
+    NodeRef child;
+    uint32_t version = 0;
+    FuseId group;  // learned via LinkNotify; invalid until then
+  };
+
+  struct TopicState {
+    bool is_root = false;
+    bool is_volunteer = false;   // forwards but does not deliver
+    NodeRef root;
+    ContentHandler handler;
+
+    // Uplink (towards the root); absent on the root itself.
+    bool uplink_live = false;
+    NodeRef parent;
+    uint32_t version = 0;        // current subscription version stamp
+    FuseId uplink_group;
+    TimerId subscribe_timer;
+    int subscribe_attempts = 0;
+
+    // Downlinks (children we forward content to), keyed by child name.
+    std::map<std::string, ChildLink> children;
+
+    // Content dedup.
+    std::set<uint64_t> seen_seqs;
+  };
+
+  bool OnSubscribeUpcall(SkipNetNode::RoutedUpcall& upcall);
+  void OnSubscribeReply(const WireMessage& msg);
+  void OnLinkNotify(const WireMessage& msg);
+  void OnContent(const WireMessage& msg);
+
+  void SendSubscribe(const std::string& topic);
+  void ScheduleResubscribe(const std::string& topic);
+  void EstablishUplink(const std::string& topic, TopicState& state, const NodeRef& parent,
+                       uint32_t version, const std::vector<NodeRef>& bypassed);
+  void ForwardContent(const std::string& topic, TopicState& state, uint64_t seq,
+                      const std::vector<uint8_t>& data);
+  bool Interested(const std::string& topic) const;
+
+  Transport* transport_;
+  SkipNetNode* overlay_;
+  FuseNode* fuse_;
+  SvTreeConfig config_;
+  bool shutdown_ = false;
+  std::unordered_map<std::string, TopicState> topics_;
+  uint64_t next_pub_seq_ = 1;
+  Stats stats_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_SVTREE_SV_TREE_H_

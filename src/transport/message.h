@@ -1,0 +1,72 @@
+// Wire message framing shared by the simulator and live runtimes.
+#ifndef FUSE_TRANSPORT_MESSAGE_H_
+#define FUSE_TRANSPORT_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/metrics.h"
+
+namespace fuse {
+
+// Message type identifiers, namespaced by subsystem. Each node-level protocol
+// registers handlers for its own range.
+namespace msgtype {
+// rpc
+inline constexpr uint16_t kRpcRequest = 0x0100;
+inline constexpr uint16_t kRpcResponse = 0x0101;
+// overlay
+inline constexpr uint16_t kOverlayPing = 0x0200;
+inline constexpr uint16_t kOverlayPingReply = 0x0201;
+inline constexpr uint16_t kOverlayJoinSearch = 0x0202;
+inline constexpr uint16_t kOverlayJoinSearchReply = 0x0203;
+inline constexpr uint16_t kOverlayNeighborNotify = 0x0204;
+inline constexpr uint16_t kOverlayRouted = 0x0205;
+inline constexpr uint16_t kOverlayNeighborQuery = 0x0206;
+inline constexpr uint16_t kOverlayNeighborQueryReply = 0x0207;
+// fuse
+inline constexpr uint16_t kFuseGroupCreateRequest = 0x0300;
+inline constexpr uint16_t kFuseGroupCreateReply = 0x0301;
+inline constexpr uint16_t kFuseInstallChecking = 0x0302;
+inline constexpr uint16_t kFuseSoftNotification = 0x0303;
+inline constexpr uint16_t kFuseHardNotification = 0x0304;
+inline constexpr uint16_t kFuseNeedRepair = 0x0305;
+inline constexpr uint16_t kFuseGroupRepairRequest = 0x0306;
+inline constexpr uint16_t kFuseGroupRepairReply = 0x0307;
+inline constexpr uint16_t kFuseReconcileRequest = 0x0308;
+inline constexpr uint16_t kFuseReconcileReply = 0x0309;
+// fuse alternative-topology implementations
+inline constexpr uint16_t kAltPing = 0x0380;
+inline constexpr uint16_t kAltPingReply = 0x0381;
+inline constexpr uint16_t kAltCreate = 0x0382;
+inline constexpr uint16_t kAltCreateReply = 0x0383;
+inline constexpr uint16_t kAltNotify = 0x0384;
+// sv-tree application
+inline constexpr uint16_t kSvSubscribe = 0x0400;
+inline constexpr uint16_t kSvSubscribeReply = 0x0401;
+inline constexpr uint16_t kSvContent = 0x0402;
+// membership (SWIM baseline)
+inline constexpr uint16_t kSwimPing = 0x0500;
+inline constexpr uint16_t kSwimAck = 0x0501;
+inline constexpr uint16_t kSwimPingReq = 0x0502;
+inline constexpr uint16_t kSwimPingReqAck = 0x0503;
+// tests / examples
+inline constexpr uint16_t kTest = 0x0f00;
+}  // namespace msgtype
+
+struct WireMessage {
+  HostId from;
+  HostId to;
+  uint16_t type = 0;
+  MsgCategory category = MsgCategory::kApp;  // metrics attribution
+  std::vector<uint8_t> payload;
+
+  // Approximate on-the-wire size: payload plus transport/IP framing.
+  static constexpr uint64_t kHeaderBytes = 48;
+  uint64_t WireSize() const { return kHeaderBytes + payload.size(); }
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_TRANSPORT_MESSAGE_H_

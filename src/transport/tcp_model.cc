@@ -1,0 +1,288 @@
+#include "transport/tcp_model.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fuse {
+
+void SimTransport::Send(WireMessage msg, SendCallback cb) {
+  fabric_->SendFrom(host_, std::move(msg), std::move(cb));
+}
+
+void SimTransport::RegisterHandler(uint16_t type, Handler handler) {
+  fabric_->RegisterHandler(host_, type, std::move(handler));
+}
+
+void SimTransport::UnregisterAllHandlers() { fabric_->UnregisterAllHandlers(host_); }
+
+Environment& SimTransport::env() { return fabric_->env(); }
+
+SimFabric::SimFabric(Environment& env, SimNetwork& net, CostModel cost, TcpParams tcp)
+    : env_(env), net_(net), cost_(cost), tcp_(tcp) {}
+
+SimFabric::HostState& SimFabric::StateOf(HostId h) {
+  auto it = hosts_.find(h);
+  if (it == hosts_.end()) {
+    it = hosts_.emplace(h, HostState{}).first;
+    it->second.transport = std::make_unique<SimTransport>(this, h);
+  }
+  return it->second;
+}
+
+SimTransport* SimFabric::TransportFor(HostId host) { return StateOf(host).transport.get(); }
+
+SimFabric::Connection& SimFabric::ConnOf(HostId a, HostId b) { return connections_[PairKey(a, b)]; }
+
+Duration SimFabric::Rtt(HostId a, HostId b) const {
+  return net_.GetPath(a, b).latency + net_.GetPath(b, a).latency;
+}
+
+bool SimFabric::IsHostUp(HostId host) const {
+  const auto it = hosts_.find(host);
+  // Hosts unseen by the fabric are considered up (they just have no state).
+  return it == hosts_.end() ? !net_.faults().IsHostDown(host) : it->second.up;
+}
+
+void SimFabric::CrashHost(HostId host) {
+  HostState& hs = StateOf(host);
+  hs.up = false;
+  hs.incarnation++;
+  hs.handlers.clear();
+  hs.send_busy_until = TimePoint::Zero();
+  net_.faults().SetHostDown(host, true);
+  // Break every connection touching this host. Peers' pending callbacks get
+  // kBroken; in-flight attempts notice via the epoch bump.
+  for (auto& [key, conn] : connections_) {
+    const HostId lo(key >> 32);
+    const HostId hi(key & 0xffffffffULL);
+    if (lo == host || hi == host) {
+      if (conn.state != Connection::State::kClosed || !conn.pending.empty()) {
+        BreakConnection(&conn);
+      }
+    }
+  }
+}
+
+void SimFabric::RestartHost(HostId host) {
+  HostState& hs = StateOf(host);
+  hs.up = true;
+  hs.incarnation++;
+  hs.handlers.clear();
+  net_.faults().SetHostDown(host, false);
+}
+
+void SimFabric::RegisterHandler(HostId host, uint16_t type, Transport::Handler handler) {
+  StateOf(host).handlers[type] = std::move(handler);
+}
+
+void SimFabric::UnregisterAllHandlers(HostId host) { StateOf(host).handlers.clear(); }
+
+void SimFabric::InvokeCallback(Transport::SendCallback cb, Status status) {
+  if (cb) {
+    cb(status);
+  }
+}
+
+void SimFabric::SendFrom(HostId from, WireMessage msg, Transport::SendCallback cb) {
+  HostState& hs = StateOf(from);
+  if (!hs.up) {
+    InvokeCallback(std::move(cb), Status::Cancelled("sender crashed"));
+    return;
+  }
+  msg.from = from;
+  const HostId to = msg.to;
+  FUSE_CHECK(to.valid() && to != from) << "bad destination";
+  Connection& conn = ConnOf(from, to);
+  switch (conn.state) {
+    case Connection::State::kOpen:
+      StartDataSend(from, &conn, std::move(msg), std::move(cb));
+      return;
+    case Connection::State::kConnecting:
+      conn.pending.push_back(PendingSend{std::move(msg), std::move(cb)});
+      return;
+    case Connection::State::kClosed:
+      conn.pending.push_back(PendingSend{std::move(msg), std::move(cb)});
+      if (!cost_.model_connection_setup) {
+        conn.state = Connection::State::kOpen;
+        FlushPending(from, to, &conn);
+      } else {
+        StartHandshake(from, to, &conn);
+      }
+      return;
+  }
+}
+
+void SimFabric::StartHandshake(HostId initiator, HostId peer, Connection* conn) {
+  conn->state = Connection::State::kConnecting;
+  AttemptConnect(initiator, peer, conn->epoch, 0);
+}
+
+void SimFabric::AttemptConnect(HostId initiator, HostId peer, uint64_t epoch, int attempt) {
+  Connection& conn = ConnOf(initiator, peer);
+  if (conn.epoch != epoch || conn.state != Connection::State::kConnecting) {
+    return;  // superseded
+  }
+  if (attempt >= tcp_.max_connect_attempts) {
+    conn.state = Connection::State::kClosed;
+    conn.epoch++;
+    auto pending = std::move(conn.pending);
+    conn.pending.clear();
+    for (auto& p : pending) {
+      InvokeCallback(std::move(p.cb), Status::Unreachable("connect failed"));
+    }
+    return;
+  }
+  // SYN + SYNACK: both must survive, and the pair must not be blocked.
+  env_.metrics().IncMessage(MsgCategory::kTransportControl, WireMessage::kHeaderBytes);
+  const bool blocked = net_.faults().IsBlocked(initiator, peer);
+  const bool ok = !blocked &&
+                  env_.rng().Bernoulli(net_.RouteSuccessProbability(initiator, peer)) &&
+                  env_.rng().Bernoulli(net_.RouteSuccessProbability(peer, initiator));
+  if (ok) {
+    env_.metrics().IncMessage(MsgCategory::kTransportControl, WireMessage::kHeaderBytes);
+    const Duration rtt = Rtt(initiator, peer);
+    env_.Schedule(rtt, [this, initiator, peer, epoch] {
+      Connection& c = ConnOf(initiator, peer);
+      if (c.epoch != epoch || c.state != Connection::State::kConnecting) {
+        return;
+      }
+      c.state = Connection::State::kOpen;
+      FlushPending(initiator, peer, &c);
+    });
+  } else {
+    const Duration backoff = tcp_.connect_rto * (int64_t{1} << attempt);
+    env_.Schedule(backoff, [this, initiator, peer, epoch, attempt] {
+      AttemptConnect(initiator, peer, epoch, attempt + 1);
+    });
+  }
+}
+
+void SimFabric::FlushPending(HostId a, HostId b, Connection* conn) {
+  (void)a;
+  (void)b;
+  auto pending = std::move(conn->pending);
+  conn->pending.clear();
+  for (auto& p : pending) {
+    StartDataSend(p.msg.from, conn, std::move(p.msg), std::move(p.cb));
+  }
+}
+
+void SimFabric::StartDataSend(HostId from, Connection* conn, WireMessage msg,
+                              Transport::SendCallback cb) {
+  HostState& hs = StateOf(from);
+  const HostId to = msg.to;
+  auto st = std::make_shared<DataSendState>();
+  st->cb = std::move(cb);
+  st->conn_epoch = conn->epoch;
+  st->slot = std::make_shared<DeliverySlot>();
+  st->slot->msg = std::move(msg);
+  st->slot->dest_incarnation = StateOf(to).incarnation;
+  st->msg = st->slot->msg;  // retransmission bookkeeping keeps its own copy
+  // Enqueue for in-order delivery on this direction.
+  const int dir = from < to ? 0 : 1;
+  conn->delivery_queue[dir].push_back(st->slot);
+  // Per-send CPU occupancy: sends from one host leave serialized (§7.4).
+  const Duration overhead = cost_.SendOverhead();
+  TimePoint depart = env_.Now();
+  if (!overhead.IsZero()) {
+    const TimePoint busy_from = hs.send_busy_until > depart ? hs.send_busy_until : depart;
+    depart = busy_from + overhead;
+    hs.send_busy_until = depart;
+  }
+  env_.Schedule(depart - env_.Now(), [this, from, st] { AttemptData(from, st); });
+}
+
+void SimFabric::AttemptData(HostId from, std::shared_ptr<DataSendState> st) {
+  const HostId to = st->msg.to;
+  Connection& conn = ConnOf(from, to);
+  if (conn.epoch != st->conn_epoch) {
+    InvokeCallback(std::move(st->cb), Status::Broken("connection reset"));
+    return;
+  }
+  if (st->attempt >= tcp_.max_data_attempts) {
+    BreakConnection(&conn);
+    InvokeCallback(std::move(st->cb), Status::Broken("retransmission limit"));
+    return;
+  }
+  st->attempt++;
+  env_.metrics().IncMessage(st->msg.category, st->msg.WireSize());
+  const bool blocked = net_.faults().IsBlocked(from, to);
+  const bool data_ok =
+      !blocked && env_.rng().Bernoulli(net_.RouteSuccessProbability(from, to));
+  const bool ack_ok =
+      data_ok && env_.rng().Bernoulli(net_.RouteSuccessProbability(to, from));
+  const Duration one_way = net_.GetPath(from, to).latency;
+
+  if (data_ok && !st->slot->ready) {
+    st->slot->ready = true;
+    st->slot->ready_time = env_.Now() + one_way;
+    FlushDeliveries(&conn, from < to ? 0 : 1);
+  }
+  if (data_ok && ack_ok) {
+    const Duration rtt = Rtt(from, to);
+    auto cb = std::move(st->cb);
+    env_.Schedule(rtt, [this, cb = std::move(cb)]() mutable {
+      InvokeCallback(std::move(cb), Status::Ok());
+    });
+    return;
+  }
+  // Retransmit with exponential backoff.
+  const Duration base_rto = std::max(tcp_.min_rto, Rtt(from, to) * int64_t{2});
+  const Duration backoff = base_rto * (int64_t{1} << (st->attempt - 1));
+  env_.Schedule(backoff, [this, from, st] { AttemptData(from, st); });
+}
+
+void SimFabric::FlushDeliveries(Connection* conn, int dir) {
+  // TCP in-order delivery with head-of-line blocking: deliver the longest
+  // ready prefix of the queue; anything behind an unready slot waits.
+  auto& queue = conn->delivery_queue[dir];
+  while (!queue.empty() && queue.front()->ready) {
+    std::shared_ptr<DeliverySlot> slot = queue.front();
+    queue.pop_front();
+    TimePoint deliver_at = slot->ready_time;
+    if (deliver_at < conn->delivery_watermark[dir]) {
+      deliver_at = conn->delivery_watermark[dir];
+    }
+    conn->delivery_watermark[dir] = deliver_at;
+    env_.Schedule(deliver_at - env_.Now(), [this, slot] {
+      Deliver(slot->msg.to, slot->dest_incarnation, slot->msg);
+    });
+  }
+}
+
+void SimFabric::BreakConnection(Connection* conn) {
+  conn->state = Connection::State::kClosed;
+  conn->epoch++;
+  conn->delivery_watermark[0] = TimePoint::Zero();
+  conn->delivery_watermark[1] = TimePoint::Zero();
+  conn->delivery_queue[0].clear();
+  conn->delivery_queue[1].clear();
+  auto pending = std::move(conn->pending);
+  conn->pending.clear();
+  for (auto& p : pending) {
+    InvokeCallback(std::move(p.cb), Status::Broken("connection broke"));
+  }
+}
+
+void SimFabric::Deliver(HostId to, uint64_t incarnation, WireMessage msg) {
+  auto it = hosts_.find(to);
+  if (it == hosts_.end()) {
+    return;
+  }
+  HostState& hs = it->second;
+  if (!hs.up || hs.incarnation != incarnation) {
+    return;  // crashed or restarted since the packet left
+  }
+  const auto hit = hs.handlers.find(msg.type);
+  if (hit == hs.handlers.end()) {
+    FUSE_LOG(Debug) << "host " << to.ToString() << " has no handler for type " << msg.type;
+    return;
+  }
+  // Copy the handler: it may unregister itself while running.
+  Transport::Handler handler = hit->second;
+  handler(msg);
+}
+
+}  // namespace fuse

@@ -1,0 +1,155 @@
+// SimFabric: the simulator's messaging layer.
+//
+// Models TCP-over-the-lossy-topology analytically:
+//   * one cached connection per host pair; the first message pays a SYN
+//     handshake (cluster cost model) — this produces the 1st-vs-2nd RPC
+//     split of Figure 6;
+//   * each message transmission attempt survives the route with probability
+//     (1 - per_link_loss)^hops in each direction; lost attempts retransmit
+//     with exponential backoff from a 1 s minimum RTO;
+//   * after max_data_attempts consecutive losses the connection *breaks*
+//     (the paper, section 7.6: "TCP sockets will break under such adverse
+//     network conditions") and the sender's callback reports kBroken;
+//   * per-send CPU occupancy serializes a host's outgoing messages (the XML
+//     messaging cost measured in section 7.4);
+//   * in-order delivery per connection direction.
+// Host crash/restart is modeled with incarnation numbers: deliveries and
+// callbacks addressed to a previous incarnation are dropped.
+#ifndef FUSE_TRANSPORT_TCP_MODEL_H_
+#define FUSE_TRANSPORT_TCP_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/network.h"
+#include "sim/environment.h"
+#include "transport/cost_model.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+class SimFabric;
+
+// Per-host Transport view onto the fabric.
+class SimTransport : public Transport {
+ public:
+  SimTransport(SimFabric* fabric, HostId host) : fabric_(fabric), host_(host) {}
+
+  void Send(WireMessage msg, SendCallback cb) override;
+  void RegisterHandler(uint16_t type, Handler handler) override;
+  void UnregisterAllHandlers() override;
+  HostId local_host() const override { return host_; }
+  Environment& env() override;
+
+ private:
+  SimFabric* fabric_;
+  HostId host_;
+};
+
+class SimFabric {
+ public:
+  SimFabric(Environment& env, SimNetwork& net, CostModel cost, TcpParams tcp = TcpParams());
+
+  // Returns the transport for `host`, creating the fabric-side state lazily.
+  SimTransport* TransportFor(HostId host);
+
+  // Fail-stop crash: marks the host down in the fault rules, breaks all its
+  // connections, clears its handlers, and bumps its incarnation so stale
+  // deliveries are dropped.
+  void CrashHost(HostId host);
+  // Brings a crashed host back (fresh incarnation, empty handler table — the
+  // node software re-registers on restart, as in the paper's trivial
+  // stable-storage-free recovery).
+  void RestartHost(HostId host);
+  bool IsHostUp(HostId host) const;
+
+  Environment& env() { return env_; }
+  SimNetwork& network() { return net_; }
+  const CostModel& cost_model() const { return cost_; }
+  const TcpParams& tcp_params() const { return tcp_; }
+
+  // Estimated round-trip latency (no loss); exposed for tests and benches.
+  Duration Rtt(HostId a, HostId b) const;
+
+  // --- used by SimTransport ---
+  void SendFrom(HostId from, WireMessage msg, Transport::SendCallback cb);
+  void RegisterHandler(HostId host, uint16_t type, Transport::Handler handler);
+  void UnregisterAllHandlers(HostId host);
+
+ private:
+  struct PendingSend {
+    WireMessage msg;
+    Transport::SendCallback cb;
+  };
+
+  // A message awaiting in-order delivery on one connection direction. TCP
+  // delivers in order: a segment that needed retransmission blocks everything
+  // behind it (head-of-line blocking).
+  struct DeliverySlot {
+    WireMessage msg;
+    uint64_t dest_incarnation = 0;
+    bool ready = false;       // data has survived the route
+    TimePoint ready_time;     // earliest possible delivery once ready
+  };
+
+  struct Connection {
+    enum class State { kClosed, kConnecting, kOpen };
+    State state = State::kClosed;
+    uint64_t epoch = 0;  // bumped on break; stale attempts abandon themselves
+    std::vector<PendingSend> pending;
+    // In-order delivery machinery per direction (0: lo->hi host id, 1: other).
+    std::deque<std::shared_ptr<DeliverySlot>> delivery_queue[2];
+    TimePoint delivery_watermark[2];
+  };
+
+  struct HostState {
+    std::unique_ptr<SimTransport> transport;
+    std::unordered_map<uint16_t, Transport::Handler> handlers;
+    uint64_t incarnation = 1;
+    bool up = true;
+    TimePoint send_busy_until;  // send-CPU serialization
+  };
+
+  struct DataSendState {
+    WireMessage msg;
+    Transport::SendCallback cb;
+    uint64_t conn_epoch;
+    std::shared_ptr<DeliverySlot> slot;
+    int attempt = 0;
+  };
+
+  // Host ids are small sequential values (< 2^32), so the packed key is
+  // invertible: lo = key >> 32, hi = key & 0xffffffff.
+  static uint64_t PairKey(HostId a, HostId b) {
+    const uint64_t lo = a.value < b.value ? a.value : b.value;
+    const uint64_t hi = a.value < b.value ? b.value : a.value;
+    return (lo << 32) | hi;
+  }
+
+  HostState& StateOf(HostId h);
+  Connection& ConnOf(HostId a, HostId b);
+  void StartHandshake(HostId initiator, HostId peer, Connection* conn);
+  void AttemptConnect(HostId initiator, HostId peer, uint64_t epoch, int attempt);
+  void FlushPending(HostId a, HostId b, Connection* conn);
+  void StartDataSend(HostId from, Connection* conn, WireMessage msg, Transport::SendCallback cb);
+  void AttemptData(HostId from, std::shared_ptr<DataSendState> st);
+  void FlushDeliveries(Connection* conn, int dir);
+  void BreakConnection(Connection* conn);
+  void Deliver(HostId to, uint64_t incarnation, WireMessage msg);
+  void InvokeCallback(Transport::SendCallback cb, Status status);
+
+  Environment& env_;
+  SimNetwork& net_;
+  CostModel cost_;
+  TcpParams tcp_;
+  std::unordered_map<HostId, HostState> hosts_;
+  std::unordered_map<uint64_t, Connection> connections_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_TRANSPORT_TCP_MODEL_H_

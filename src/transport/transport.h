@@ -1,0 +1,40 @@
+// Transport: the per-host messaging interface node-level code uses. Reliable,
+// connection-oriented ("over TCP" in the paper): messages either arrive in
+// order or the sender learns the connection broke. Implemented by the
+// simulator fabric (tcp_model.h) and by the live runtime.
+#ifndef FUSE_TRANSPORT_TRANSPORT_H_
+#define FUSE_TRANSPORT_TRANSPORT_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "sim/environment.h"
+#include "transport/message.h"
+
+namespace fuse {
+
+class Transport {
+ public:
+  // Invoked on the receiving host when a message of the registered type
+  // arrives.
+  using Handler = std::function<void(const WireMessage&)>;
+  // Invoked on the sender: Ok once the message was acknowledged, or an error
+  // (kBroken / kUnreachable) when the connection failed. FUSE interprets
+  // these errors as "the node at the other end is unavailable" (section 6.1).
+  using SendCallback = std::function<void(const Status&)>;
+
+  virtual ~Transport() = default;
+
+  // Sends `msg` to msg.to; `cb` may be nullptr when the sender does not care.
+  virtual void Send(WireMessage msg, SendCallback cb) = 0;
+
+  virtual void RegisterHandler(uint16_t type, Handler handler) = 0;
+  virtual void UnregisterAllHandlers() = 0;
+
+  virtual HostId local_host() const = 0;
+  virtual Environment& env() = 0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_TRANSPORT_TRANSPORT_H_

@@ -1,0 +1,140 @@
+// Tests for the alternative liveness-checking topologies (paper section 5.1):
+// the same one-way agreement semantics with different cost structures.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fuse/alt_topologies.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "transport/tcp_model.h"
+
+namespace fuse {
+namespace {
+
+class AltFixture : public ::testing::TestWithParam<LivenessTopology> {
+ protected:
+  void Init(int n, uint64_t seed) {
+    TopologyConfig cfg;
+    cfg.num_as = 50;
+    sim_ = std::make_unique<Simulation>(seed);
+    net_ = std::make_unique<SimNetwork>(Topology::Generate(cfg, sim_->rng()));
+    fabric_ = std::make_unique<SimFabric>(*sim_, *net_, CostModel::Simulator());
+    for (int i = 0; i < n; ++i) {
+      hosts_.push_back(net_->AddHost(sim_->rng()));
+    }
+    AltFuseConfig cfg2;
+    cfg2.topology = GetParam();
+    cfg2.central_server = hosts_[0];  // host 0 doubles as the server
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<AltFuseNode>(fabric_->TransportFor(hosts_[i]), cfg2));
+    }
+  }
+
+  FuseId CreateSync(size_t creator, const std::vector<size_t>& member_idx, Status* status) {
+    std::vector<HostId> members;
+    for (size_t i : member_idx) {
+      members.push_back(hosts_[i]);
+    }
+    FuseId id;
+    bool done = false;
+    nodes_[creator]->CreateGroup(members, [&](const Status& s, FuseId gid) {
+      *status = s;
+      id = gid;
+      done = true;
+    });
+    sim_->RunUntilCondition([&] { return done; }, sim_->Now() + Duration::Minutes(2));
+    EXPECT_TRUE(done);
+    return id;
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<SimFabric> fabric_;
+  std::vector<HostId> hosts_;
+  std::vector<std::unique_ptr<AltFuseNode>> nodes_;
+};
+
+TEST_P(AltFixture, CreateAndExplicitSignal) {
+  Init(10, 401);
+  Status status;
+  const std::vector<size_t> members{1, 2, 3, 4};
+  const FuseId id = CreateSync(1, members, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::map<size_t, int> fired;
+  for (size_t m : members) {
+    nodes_[m]->RegisterFailureHandler(id, [&fired, m](FuseId) { fired[m]++; });
+  }
+  nodes_[3]->SignalFailure(id);
+  sim_->RunFor(Duration::Minutes(2));
+  for (size_t m : members) {
+    EXPECT_EQ(fired[m], 1) << "member " << m;
+    EXPECT_FALSE(nodes_[m]->HasLiveGroup(id));
+  }
+}
+
+TEST_P(AltFixture, CrashNotifiesSurvivors) {
+  Init(10, 402);
+  Status status;
+  const std::vector<size_t> members{1, 2, 3, 4, 5};
+  const FuseId id = CreateSync(1, members, &status);
+  ASSERT_TRUE(status.ok());
+  std::map<size_t, int> fired;
+  for (size_t m : members) {
+    nodes_[m]->RegisterFailureHandler(id, [&fired, m](FuseId) { fired[m]++; });
+  }
+  fabric_->CrashHost(hosts_[4]);
+  nodes_[4]->Shutdown();
+  sim_->RunFor(Duration::Minutes(6));
+  for (size_t m : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    EXPECT_EQ(fired[m], 1) << "member " << m;
+  }
+}
+
+TEST_P(AltFixture, QuiescentGroupsStayAlive) {
+  Init(12, 403);
+  Status status;
+  std::vector<FuseId> ids;
+  for (int g = 0; g < 5; ++g) {
+    const std::vector<size_t> members{1, static_cast<size_t>(2 + g), 8};
+    ids.push_back(CreateSync(1, members, &status));
+    ASSERT_TRUE(status.ok());
+  }
+  sim_->RunFor(Duration::Minutes(20));
+  for (const FuseId& id : ids) {
+    EXPECT_TRUE(nodes_[1]->HasLiveGroup(id));
+    EXPECT_TRUE(nodes_[8]->HasLiveGroup(id));
+  }
+}
+
+TEST_P(AltFixture, RegisterOnDeadIdFiresImmediately) {
+  Init(6, 404);
+  FuseId bogus;
+  bogus.hi = 1;
+  bogus.lo = 2;
+  int fired = 0;
+  nodes_[2]->RegisterFailureHandler(bogus, [&](FuseId) { ++fired; });
+  sim_->RunFor(Duration::Seconds(2));
+  EXPECT_EQ(fired, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, AltFixture,
+                         ::testing::Values(LivenessTopology::kDirectTree,
+                                           LivenessTopology::kAllToAll,
+                                           LivenessTopology::kCentralServer),
+                         [](const ::testing::TestParamInfo<LivenessTopology>& info) {
+                           switch (info.param) {
+                             case LivenessTopology::kDirectTree:
+                               return "DirectTree";
+                             case LivenessTopology::kAllToAll:
+                               return "AllToAll";
+                             case LivenessTopology::kCentralServer:
+                               return "CentralServer";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace fuse

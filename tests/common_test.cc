@@ -1,0 +1,304 @@
+// Unit tests for src/common: time, rng, sha1, stats, serialize, status, ids.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/sha1.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace fuse {
+namespace {
+
+TEST(TimeTest, DurationArithmetic) {
+  const Duration a = Duration::Millis(1500);
+  EXPECT_EQ(a.ToMicros(), 1500000);
+  EXPECT_DOUBLE_EQ(a.ToSecondsF(), 1.5);
+  EXPECT_EQ((a + Duration::Millis(500)).ToMicros(), 2000000);
+  EXPECT_EQ((a - Duration::Seconds(1)).ToMicros(), 500000);
+  EXPECT_EQ((a * int64_t{2}).ToMicros(), 3000000);
+  EXPECT_EQ((a / int64_t{3}).ToMicros(), 500000);
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_EQ(Duration::Seconds(2).ToString(), "2s");
+  EXPECT_EQ(Duration::Millis(20).ToString(), "20ms");
+  EXPECT_EQ(Duration::Micros(7).ToString(), "7us");
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  const TimePoint t = TimePoint::FromMicros(1000);
+  EXPECT_EQ((t + Duration::Micros(500)).ToMicros(), 1500);
+  EXPECT_EQ((t - Duration::Micros(500)).ToMicros(), 500);
+  EXPECT_EQ((t + Duration::Micros(500)) - t, Duration::Micros(500));
+  EXPECT_LT(t, t + Duration::Micros(1));
+}
+
+TEST(TimeTest, DurationScaleByDouble) {
+  EXPECT_EQ((Duration::Seconds(10) * 0.5).ToMicros(), 5000000);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.UniformInt(0, 7));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(31);
+  const auto s = rng.SampleIndices(10, 5);
+  EXPECT_EQ(s.size(), 5u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+  for (size_t i : s) {
+    EXPECT_LT(i, 10u);
+  }
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+// FIPS 180-1 test vectors.
+TEST(Sha1Test, KnownVectors) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionA) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(Sha1::ToHex(h.Finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog 0123456789";
+  Sha1 h;
+  for (char c : msg) {
+    h.Update(&c, 1);
+  }
+  EXPECT_EQ(h.Finish(), Sha1::Hash(msg));
+}
+
+TEST(Sha1Test, DigestSensitivity) {
+  EXPECT_NE(Sha1::Hash("abc"), Sha1::Hash("abd"));
+}
+
+TEST(StatsTest, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_EQ(s.Count(), 100u);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(25), 25.75, 0.01);
+  EXPECT_NEAR(s.Percentile(75), 75.25, 0.01);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+}
+
+TEST(StatsTest, EmptySummary) {
+  Summary s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(StatsTest, FractionAtMost) {
+  Summary s;
+  for (int i = 1; i <= 10; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.FractionAtMost(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.FractionAtMost(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.FractionAtMost(100.0), 1.0);
+}
+
+TEST(StatsTest, CdfMonotone) {
+  Summary s;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    s.Add(rng.UniformDouble(0, 100));
+  }
+  const auto cdf = s.Cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Writer w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(3.25);
+  w.PutString("hello");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU16(), 0x1234);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 3.25);
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(SerializeTest, TruncatedReadFails) {
+  Writer w;
+  w.PutU32(7);
+  Reader r(w.bytes());
+  r.GetU64();  // longer than available
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads keep failing safely.
+  EXPECT_EQ(r.GetU32(), 0u);
+  EXPECT_FALSE(r.Done());
+}
+
+TEST(SerializeTest, CorruptStringLength) {
+  Writer w;
+  w.PutU32(1000);  // claims 1000 bytes, none present
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(StatusTest, Basics) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_FALSE(Status::Timeout("x").ok());
+  EXPECT_EQ(Status::Timeout().code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::Broken("conn").ToString(), "BROKEN: conn");
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(IdsTest, StrongIdBehavior) {
+  const HostId a(1);
+  const HostId b(2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(HostId().valid());
+  std::unordered_set<HostId> set{a, b, a};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(MetricsTest, CountsAndWindows) {
+  Metrics m;
+  m.IncMessage(MsgCategory::kOverlayPing, 68);
+  m.IncMessage(MsgCategory::kOverlayPing, 68);
+  m.IncMessage(MsgCategory::kFuseCreate, 100);
+  EXPECT_EQ(m.MessageCount(MsgCategory::kOverlayPing), 2u);
+  EXPECT_EQ(m.ByteCount(MsgCategory::kOverlayPing), 136u);
+  EXPECT_EQ(m.TotalMessages(), 3u);
+  EXPECT_EQ(m.TotalBytes(), 236u);
+
+  const auto w = m.BeginWindow(TimePoint::FromMicros(0));
+  m.IncMessage(MsgCategory::kRpc, 10);
+  m.IncMessage(MsgCategory::kRpc, 10);
+  EXPECT_DOUBLE_EQ(m.MessagesPerSecond(w, TimePoint::FromMicros(2000000)), 1.0);
+
+  m.Reset();
+  EXPECT_EQ(m.TotalMessages(), 0u);
+}
+
+}  // namespace
+}  // namespace fuse

@@ -1,0 +1,160 @@
+// Tests for the topology generator, network model, and fault injector.
+// The topology calibration test pins the route statistics the paper's
+// evaluation depends on (sections 7.1, 7.6): hop counts 2-43 with median ~15
+// and a median RTT near 130 ms with a heavy tail.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "net/fault_injector.h"
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace fuse {
+namespace {
+
+TEST(TopologyTest, GeneratesConnectedGraph) {
+  Rng rng(1);
+  TopologyConfig cfg;
+  cfg.num_as = 100;
+  const Topology topo = Topology::Generate(cfg, rng);
+  EXPECT_EQ(topo.NumAs(), 100u);
+  EXPECT_GT(topo.NumRouters(), 100u);
+  // Any two routers have a finite path (FUSE_CHECK inside would abort
+  // otherwise).
+  Rng pick(2);
+  for (int i = 0; i < 200; ++i) {
+    const RouterId a = topo.RandomRouter(pick);
+    const RouterId b = topo.RandomRouter(pick);
+    const auto p = topo.GetPath(a, b);
+    EXPECT_GT(p.latency.ToMicros(), 0);
+    EXPECT_GE(p.hops, 1u);
+  }
+}
+
+TEST(TopologyTest, SameRouterIsLocalHop) {
+  Rng rng(1);
+  TopologyConfig cfg;
+  cfg.num_as = 20;
+  const Topology topo = Topology::Generate(cfg, rng);
+  const RouterId r(0);
+  const auto p = topo.GetPath(r, r);
+  EXPECT_EQ(p.hops, 1u);
+  EXPECT_LT(p.latency.ToMicros(), 1000);
+}
+
+TEST(TopologyTest, PathIsSymmetric) {
+  Rng rng(3);
+  TopologyConfig cfg;
+  cfg.num_as = 50;
+  const Topology topo = Topology::Generate(cfg, rng);
+  Rng pick(4);
+  for (int i = 0; i < 50; ++i) {
+    const RouterId a = topo.RandomRouter(pick);
+    const RouterId b = topo.RandomRouter(pick);
+    const auto ab = topo.GetPath(a, b);
+    const auto ba = topo.GetPath(b, a);
+    EXPECT_EQ(ab.latency.ToMicros(), ba.latency.ToMicros());
+    EXPECT_EQ(ab.hops, ba.hops);
+  }
+}
+
+// Calibration against the paper's reported route statistics.
+TEST(TopologyTest, CalibrationMatchesPaperRouteStats) {
+  Rng rng(7);
+  const TopologyConfig cfg;  // defaults are the calibrated values
+  const Topology topo = Topology::Generate(cfg, rng);
+  SimNetwork net{std::move(topo)};
+  Rng pick(8);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 400; ++i) {
+    hosts.push_back(net.AddHost(pick));
+  }
+  Summary rtt_ms;
+  Summary hops;
+  for (int i = 0; i < 3000; ++i) {
+    const HostId a = hosts[pick.UniformInt(0, 399)];
+    const HostId b = hosts[pick.UniformInt(0, 399)];
+    if (a == b) {
+      continue;
+    }
+    const auto p = net.GetPath(a, b);
+    rtt_ms.Add(2 * p.latency.ToMillisF());
+    hops.Add(p.hops);
+  }
+  // Paper: median RTT ~130 ms (Figure 6), heavy tail from T3 links.
+  EXPECT_GT(rtt_ms.Median(), 100.0);
+  EXPECT_LT(rtt_ms.Median(), 170.0);
+  EXPECT_GT(rtt_ms.Percentile(99), 400.0);  // heavy tail present
+  // Paper: route hops 2-43, median 15 (section 7.6).
+  EXPECT_GT(hops.Median(), 11.0);
+  EXPECT_LT(hops.Median(), 19.0);
+  EXPECT_GE(hops.Min(), 1.0);  // same-router pairs can be 1 hop
+  EXPECT_LT(hops.Max(), 60.0);
+}
+
+TEST(NetworkTest, RouteLossComposition) {
+  Rng rng(9);
+  TopologyConfig cfg;
+  cfg.num_as = 50;
+  SimNetwork net{Topology::Generate(cfg, rng)};
+  Rng pick(10);
+  const HostId a = net.AddHost(pick);
+  const HostId b = net.AddHost(pick);
+  EXPECT_DOUBLE_EQ(net.RouteSuccessProbability(a, b), 1.0);
+  net.SetPerLinkLossRate(0.01);
+  const auto path = net.GetPath(a, b);
+  const double expect = std::pow(0.99, path.hops);
+  EXPECT_NEAR(net.RouteSuccessProbability(a, b), expect, 1e-12);
+}
+
+TEST(FaultInjectorTest, HostDown) {
+  FaultInjector f;
+  const HostId a(1), b(2);
+  EXPECT_FALSE(f.IsBlocked(a, b));
+  f.SetHostDown(a, true);
+  EXPECT_TRUE(f.IsBlocked(a, b));
+  EXPECT_TRUE(f.IsBlocked(b, a));
+  f.SetHostDown(a, false);
+  EXPECT_FALSE(f.IsBlocked(a, b));
+}
+
+TEST(FaultInjectorTest, BlockedPairIsSymmetricAndIntransitive) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3);
+  f.BlockPair(a, c);
+  // The intransitive scenario from section 3.4: A-B fine, B-C fine, A-C not.
+  EXPECT_FALSE(f.IsBlocked(a, b));
+  EXPECT_FALSE(f.IsBlocked(b, c));
+  EXPECT_TRUE(f.IsBlocked(a, c));
+  EXPECT_TRUE(f.IsBlocked(c, a));
+  f.UnblockPair(c, a);  // order does not matter
+  EXPECT_FALSE(f.IsBlocked(a, c));
+}
+
+TEST(FaultInjectorTest, Partition) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3), d(4);
+  f.PartitionHosts({a, b});
+  EXPECT_FALSE(f.IsBlocked(a, b));
+  EXPECT_TRUE(f.IsBlocked(a, c));
+  EXPECT_TRUE(f.IsBlocked(b, d));
+  EXPECT_FALSE(f.IsBlocked(c, d));
+  f.ClearPartitions();
+  EXPECT_FALSE(f.IsBlocked(a, c));
+}
+
+TEST(NetworkTest, CoLocatedHostsShareRouter) {
+  Rng rng(11);
+  TopologyConfig cfg;
+  cfg.num_as = 30;
+  SimNetwork net{Topology::Generate(cfg, rng)};
+  const RouterId r = net.topology().RandomRouter(rng);
+  const HostId a = net.AddHostAt(r);
+  const HostId b = net.AddHostAt(r);
+  EXPECT_EQ(net.RouterOf(a), net.RouterOf(b));
+  const auto p = net.GetPath(a, b);
+  EXPECT_EQ(p.hops, 1u);
+}
+
+}  // namespace
+}  // namespace fuse

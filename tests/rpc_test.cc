@@ -1,0 +1,113 @@
+// Tests for the RPC layer: request/response, timeouts, transport failures.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "rpc/rpc.h"
+#include "sim/simulation.h"
+#include "transport/tcp_model.h"
+
+namespace fuse {
+namespace {
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TopologyConfig cfg;
+    cfg.num_as = 40;
+    sim_ = std::make_unique<Simulation>(23);
+    net_ = std::make_unique<SimNetwork>(Topology::Generate(cfg, sim_->rng()));
+    a_ = net_->AddHost(sim_->rng());
+    b_ = net_->AddHost(sim_->rng());
+    fabric_ = std::make_unique<SimFabric>(*sim_, *net_, CostModel::Simulator());
+    rpc_a_ = std::make_unique<RpcNode>(fabric_->TransportFor(a_));
+    rpc_b_ = std::make_unique<RpcNode>(fabric_->TransportFor(b_));
+  }
+
+  std::unique_ptr<Simulation> sim_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<SimFabric> fabric_;
+  HostId a_, b_;
+  std::unique_ptr<RpcNode> rpc_a_, rpc_b_;
+};
+
+TEST_F(RpcTest, CallRoundTrip) {
+  rpc_b_->Handle(100, [](HostId caller, const std::vector<uint8_t>& req) {
+    EXPECT_EQ(req, (std::vector<uint8_t>{5, 6}));
+    (void)caller;
+    return std::vector<uint8_t>{7, 8, 9};
+  });
+  Status status = Status::Failed("pending");
+  std::vector<uint8_t> reply;
+  rpc_a_->Call(b_, 100, {5, 6}, Duration::Seconds(10),
+               [&](const Status& s, const std::vector<uint8_t>& r) {
+                 status = s;
+                 reply = r;
+               });
+  sim_->RunFor(Duration::Seconds(10));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(reply, (std::vector<uint8_t>{7, 8, 9}));
+  EXPECT_EQ(rpc_a_->PendingCalls(), 0u);
+}
+
+TEST_F(RpcTest, TimeoutWhenNoServer) {
+  // b_ has no handler for method 42: the server replies "no such method".
+  Status status;
+  rpc_a_->Call(b_, 42, {}, Duration::Seconds(5),
+               [&](const Status& s, const std::vector<uint8_t>&) { status = s; });
+  sim_->RunFor(Duration::Seconds(10));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(RpcTest, TimeoutWhenHostUnreachable) {
+  net_->faults().SetHostDown(b_, true);
+  Status status = Status::Ok();
+  rpc_a_->Call(b_, 100, {}, Duration::Seconds(5),
+               [&](const Status& s, const std::vector<uint8_t>&) { status = s; });
+  sim_->RunFor(Duration::Minutes(2));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(RpcTest, CallbackFiresExactlyOnce) {
+  rpc_b_->Handle(100, [](HostId, const std::vector<uint8_t>&) {
+    return std::vector<uint8_t>{1};
+  });
+  int fires = 0;
+  // Tiny timeout: the timeout races the reply; only one should win.
+  rpc_a_->Call(b_, 100, {}, Duration::Millis(1),
+               [&](const Status&, const std::vector<uint8_t>&) { ++fires; });
+  sim_->RunFor(Duration::Seconds(10));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(RpcTest, ConcurrentCallsCorrelate) {
+  rpc_b_->Handle(1, [](HostId, const std::vector<uint8_t>& req) {
+    auto r = req;
+    r.push_back(1);
+    return r;
+  });
+  rpc_b_->Handle(2, [](HostId, const std::vector<uint8_t>& req) {
+    auto r = req;
+    r.push_back(2);
+    return r;
+  });
+  std::vector<std::vector<uint8_t>> replies(10);
+  int done = 0;
+  for (uint8_t i = 0; i < 10; ++i) {
+    rpc_a_->Call(b_, (i % 2) ? 1 : 2, {i}, Duration::Seconds(30),
+                 [&, i](const Status& s, const std::vector<uint8_t>& r) {
+                   ASSERT_TRUE(s.ok());
+                   replies[i] = r;
+                   ++done;
+                 });
+  }
+  sim_->RunFor(Duration::Minutes(1));
+  EXPECT_EQ(done, 10);
+  for (uint8_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(replies[i].size(), 2u);
+    EXPECT_EQ(replies[i][0], i);
+    EXPECT_EQ(replies[i][1], (i % 2) ? 1 : 2);
+  }
+}
+
+}  // namespace
+}  // namespace fuse

@@ -1,0 +1,137 @@
+// Unit tests for the discrete event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace fuse {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(TimePoint::FromMicros(300), [&] { order.push_back(3); });
+  q.ScheduleAt(TimePoint::FromMicros(100), [&] { order.push_back(1); });
+  q.ScheduleAt(TimePoint::FromMicros(200), [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now().ToMicros(), 300);
+}
+
+TEST(EventQueueTest, SameTimeFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(TimePoint::FromMicros(50), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduleAfter) {
+  EventQueue q;
+  bool fired = false;
+  q.ScheduleAfter(Duration::Millis(5), [&] { fired = true; });
+  q.RunUntil(TimePoint::FromMicros(4999));
+  EXPECT_FALSE(fired);
+  q.RunUntil(TimePoint::FromMicros(5000));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const TimerId id = q.ScheduleAfter(Duration::Millis(1), [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // double cancel
+  q.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelInvalidId) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(TimerId()));
+  EXPECT_FALSE(q.Cancel(TimerId(999)));
+}
+
+TEST(EventQueueTest, EventsScheduledFromEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      q.ScheduleAfter(Duration::Millis(1), chain);
+    }
+  };
+  q.ScheduleAfter(Duration::Millis(1), chain);
+  q.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.Now().ToMicros(), 5000);
+}
+
+TEST(EventQueueTest, PastEventsClampToNow) {
+  EventQueue q;
+  q.RunUntil(TimePoint::FromMicros(1000));
+  bool fired = false;
+  q.ScheduleAt(TimePoint::FromMicros(10), [&] { fired = true; });
+  q.RunOne();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.Now().ToMicros(), 1000);  // did not go backwards
+}
+
+TEST(EventQueueTest, RunAllHonorsLimit) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAfter(Duration::Micros(i), [&] { ++count; });
+  }
+  EXPECT_EQ(q.RunAll(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(q.PendingCount(), 7u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.RunUntil(TimePoint::FromMicros(123456));
+  EXPECT_EQ(q.Now().ToMicros(), 123456);
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<uint64_t> draws;
+    for (int i = 0; i < 5; ++i) {
+      sim.Schedule(Duration::Millis(i), [&] { draws.push_back(sim.rng().NextU64()); });
+    }
+    sim.RunAll();
+    return draws;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(SimulationTest, RunUntilCondition) {
+  Simulation sim(1);
+  int x = 0;
+  sim.Schedule(Duration::Seconds(1), [&] { x = 1; });
+  sim.Schedule(Duration::Seconds(2), [&] { x = 2; });
+  EXPECT_TRUE(sim.RunUntilCondition([&] { return x == 1; }, TimePoint::Max()));
+  EXPECT_EQ(x, 1);
+  // Condition never satisfied: stops at deadline.
+  EXPECT_FALSE(
+      sim.RunUntilCondition([&] { return x == 99; }, sim.Now() + Duration::Seconds(10)));
+  EXPECT_EQ(x, 2);
+}
+
+TEST(SimulationTest, MetricsAccessible) {
+  Simulation sim(1);
+  sim.metrics().IncMessage(MsgCategory::kApp, 10);
+  EXPECT_EQ(sim.metrics().TotalMessages(), 1u);
+}
+
+}  // namespace
+}  // namespace fuse

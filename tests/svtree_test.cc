@@ -1,0 +1,230 @@
+// Integration tests for SV trees (paper section 4): content delivery, FUSE
+// fate-sharing on link failure, re-subscription with version stamps, and
+// voluntary leave via explicit signalling.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/sim_cluster.h"
+#include "svtree/sv_tree.h"
+
+namespace fuse {
+namespace {
+
+ClusterConfig SmallConfig(int n, uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = seed;
+  cfg.topology.num_as = 60;
+  cfg.cost = CostModel::Simulator();
+  // Small leaf sets so overlay routes have intermediate hops even at this
+  // node count: SV trees then form multi-level structures as in the paper.
+  cfg.overlay.table.leaf_set_half = 2;
+  return cfg;
+}
+
+class SvFixture : public ::testing::Test {
+ protected:
+  void Init(int n, uint64_t seed) {
+    cluster_ = std::make_unique<SimCluster>(SmallConfig(n, seed));
+    cluster_->Build();
+    apps_.resize(n);
+    for (int i = 0; i < n; ++i) {
+      auto& node = cluster_->node(i);
+      apps_[i] = std::make_unique<SvTreeNode>(node.transport(), node.overlay(), node.fuse());
+    }
+  }
+
+  void SubscribeAndWait(size_t i, const std::string& topic, size_t root) {
+    received_[i] = 0;
+    apps_[i]->Subscribe(topic, cluster_->RefOf(root),
+                        [this, i](const std::string&, uint64_t, const std::vector<uint8_t>&) {
+                          received_[i]++;
+                        });
+    cluster_->sim().RunUntilCondition([&] { return apps_[i]->HasUplink(topic); },
+                                      cluster_->sim().Now() + Duration::Minutes(5));
+    ASSERT_TRUE(apps_[i]->HasUplink(topic)) << "subscriber " << i << " failed to link";
+  }
+
+  // Lets in-flight LinkNotify messages land so parents know their children
+  // before anything is published.
+  void SettleLinks() { cluster_->sim().RunFor(Duration::Seconds(30)); }
+
+  std::unique_ptr<SimCluster> cluster_;
+  std::vector<std::unique_ptr<SvTreeNode>> apps_;
+  std::map<size_t, int> received_;
+};
+
+TEST_F(SvFixture, PublishReachesAllSubscribers) {
+  Init(32, 201);
+  const std::string topic = "news";
+  apps_[0]->CreateTopic(topic);
+  std::vector<size_t> subs{3, 9, 17, 25, 30};
+  for (size_t s : subs) {
+    SubscribeAndWait(s, topic, 0);
+  }
+  SettleLinks();
+  for (int k = 0; k < 5; ++k) {
+    apps_[0]->Publish(topic, {1, 2, 3});
+  }
+  cluster_->sim().RunFor(Duration::Minutes(1));
+  for (size_t s : subs) {
+    EXPECT_EQ(received_[s], 5) << "subscriber " << s;
+  }
+}
+
+TEST_F(SvFixture, ContentRoutesThroughSubscriberParents) {
+  Init(32, 202);
+  const std::string topic = "t";
+  // Root at the highest name: clockwise subscriptions from low-named
+  // subscribers then pass through one another and get intercepted.
+  const size_t root = 31;
+  apps_[root]->CreateTopic(topic);
+  // Subscribe in descending name order so earlier subscribers sit on the
+  // clockwise overlay paths of later ones and intercept them.
+  std::vector<size_t> subs;
+  for (size_t s = 19; s >= 1; --s) {
+    subs.push_back(s);
+    SubscribeAndWait(s, topic, root);
+  }
+  SettleLinks();
+  size_t with_children = 0;
+  for (size_t s : subs) {
+    if (apps_[s]->NumChildren(topic) > 0) {
+      ++with_children;
+    }
+  }
+  apps_[root]->Publish(topic, {9});
+  cluster_->sim().RunFor(Duration::Minutes(1));
+  for (size_t s : subs) {
+    EXPECT_EQ(received_[s], 1) << "subscriber " << s;
+  }
+  EXPECT_GT(with_children, 0u) << "tree degenerated to a star at the root";
+}
+
+TEST_F(SvFixture, ParentCrashTriggersResubscribeViaFuse) {
+  Init(32, 203);
+  const std::string topic = "t";
+  const size_t root = 31;
+  apps_[root]->CreateTopic(topic);
+  for (size_t s = 15; s >= 1; --s) {
+    SubscribeAndWait(s, topic, root);
+  }
+  SettleLinks();
+  // Find a subscriber whose parent is another subscriber; crash the parent.
+  size_t child = SIZE_MAX, parent = SIZE_MAX;
+  for (size_t s = 1; s < 16 && child == SIZE_MAX; ++s) {
+    if (apps_[s]->NumChildren(topic) > 0) {
+      parent = s;
+      for (size_t c = 1; c < 16; ++c) {
+        if (c != s && apps_[c]->HasUplink(topic)) {
+          // Identify parentage indirectly: crash s and see who re-links.
+        }
+      }
+      break;
+    }
+  }
+  ASSERT_NE(parent, SIZE_MAX) << "no subscriber-parent found";
+  apps_[parent]->Shutdown();  // app goes away with its node
+  cluster_->Crash(parent);
+  cluster_->sim().RunFor(Duration::Minutes(8));
+  // All other subscribers must have live uplinks again (repaired via FUSE
+  // notification + version-stamped resubscribe).
+  for (size_t s = 1; s < 16; ++s) {
+    if (s == parent) {
+      continue;
+    }
+    EXPECT_TRUE(apps_[s]->HasUplink(topic)) << "subscriber " << s << " did not re-link";
+  }
+  // And content still flows to everyone.
+  apps_[root]->Publish(topic, {7});
+  cluster_->sim().RunFor(Duration::Minutes(1));
+  for (size_t s = 1; s < 16; ++s) {
+    if (s == parent) {
+      continue;
+    }
+    EXPECT_GE(received_[s], 1) << "subscriber " << s;
+  }
+}
+
+TEST_F(SvFixture, VoluntaryLeaveRepairsTree) {
+  Init(32, 204);
+  const std::string topic = "t";
+  const size_t root = 31;
+  apps_[root]->CreateTopic(topic);
+  for (size_t s = 19; s >= 1; --s) {
+    SubscribeAndWait(s, topic, root);
+  }
+  SettleLinks();
+  // Pick a parent with children and have it leave voluntarily.
+  size_t leaver = SIZE_MAX;
+  for (size_t s = 1; s < 20; ++s) {
+    if (apps_[s]->NumChildren(topic) > 0) {
+      leaver = s;
+      break;
+    }
+  }
+  ASSERT_NE(leaver, SIZE_MAX);
+  apps_[leaver]->Unsubscribe(topic);
+  cluster_->sim().RunFor(Duration::Minutes(5));
+  for (size_t s = 1; s < 20; ++s) {
+    if (s == leaver) {
+      EXPECT_FALSE(apps_[s]->HasUplink(topic));
+      continue;
+    }
+    EXPECT_TRUE(apps_[s]->HasUplink(topic)) << "subscriber " << s;
+  }
+  // Content resumes; the leaver receives nothing new.
+  const int before = received_[leaver];
+  apps_[root]->Publish(topic, {1});
+  cluster_->sim().RunFor(Duration::Minutes(1));
+  for (size_t s = 1; s < 20; ++s) {
+    if (s == leaver) {
+      EXPECT_EQ(received_[s], before);
+    } else {
+      EXPECT_GE(received_[s], 1) << "subscriber " << s;
+    }
+  }
+}
+
+TEST_F(SvFixture, GroupSizesAreSmall) {
+  // Paper section 4: FUSE groups for SV-tree links average ~2.9 members with
+  // small maxima — groups are link-scoped, not tree-scoped.
+  Init(48, 205);
+  const std::string topic = "t";
+  apps_[0]->CreateTopic(topic);
+  for (size_t s = 1; s < 40; ++s) {
+    SubscribeAndWait(s, topic, 0);
+  }
+  int total = 0, count = 0, max = 0;
+  for (size_t s = 1; s < 40; ++s) {
+    for (int size : apps_[s]->stats().group_sizes) {
+      total += size;
+      max = std::max(max, size);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  const double avg = static_cast<double>(total) / count;
+  EXPECT_LT(avg, 6.0);
+  EXPECT_GE(avg, 2.0);
+  EXPECT_LE(max, 16);
+}
+
+TEST_F(SvFixture, DuplicateContentSuppressed) {
+  Init(16, 206);
+  const std::string topic = "t";
+  apps_[0]->CreateTopic(topic);
+  SubscribeAndWait(3, topic, 0);
+  SettleLinks();
+  apps_[0]->Publish(topic, {1});
+  apps_[0]->Publish(topic, {2});
+  cluster_->sim().RunFor(Duration::Minutes(1));
+  EXPECT_EQ(received_[3], 2);
+}
+
+}  // namespace
+}  // namespace fuse
