@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-command tier-1 verify: configure, build everything, run the full test
+# suite. This is exactly what CI's build-and-test job runs.
+#
+#   scripts/check.sh            # full suite
+#   scripts/check.sh -L tier1   # extra args are passed to ctest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"

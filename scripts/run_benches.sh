@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the paper-figure benchmarks and tees each one's output into
+# bench-results/<name>.txt so successive runs can be diffed for perf
+# regressions (ROADMAP: perf baselining of Fig. 9/10).
+#
+#   scripts/run_benches.sh                 # all figure benches
+#   scripts/run_benches.sh fig09 fig10     # only benches matching a pattern
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" >/dev/null
+
+mkdir -p bench-results
+shopt -s nullglob
+for bin in build/bench/bench_*; do
+  [[ -x ${bin} ]] || continue
+  name=$(basename "${bin}")
+  if [[ $# -gt 0 ]]; then
+    keep=0
+    for pat in "$@"; do
+      [[ ${name} == *"${pat}"* ]] && keep=1
+    done
+    [[ ${keep} -eq 1 ]] || continue
+  fi
+  echo "=== ${name} ==="
+  "${bin}" | tee "bench-results/${name}.txt"
+done

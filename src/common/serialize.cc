@@ -24,6 +24,9 @@ void Writer::PutDouble(double v) {
 }
 
 void Writer::PutBytes(const void* data, size_t len) {
+  if (len == 0) {
+    return;  // `data` may be null for empty payloads
+  }
   const uint8_t* p = static_cast<const uint8_t*>(data);
   buf_.insert(buf_.end(), p, p + len);
 }
@@ -81,6 +84,9 @@ std::string Reader::GetString() {
 }
 
 void Reader::GetBytes(void* out, size_t len) {
+  if (len == 0) {
+    return;  // `out` may be null for empty payloads
+  }
   if (!Ensure(len)) {
     std::memset(out, 0, len);
     return;

@@ -124,8 +124,8 @@ INSTANTIATE_TEST_SUITE_P(AllTopologies, AltFixture,
                          ::testing::Values(LivenessTopology::kDirectTree,
                                            LivenessTopology::kAllToAll,
                                            LivenessTopology::kCentralServer),
-                         [](const ::testing::TestParamInfo<LivenessTopology>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<LivenessTopology>& param_info) {
+                           switch (param_info.param) {
                              case LivenessTopology::kDirectTree:
                                return "DirectTree";
                              case LivenessTopology::kAllToAll:

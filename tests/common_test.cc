@@ -1,9 +1,11 @@
 // Unit tests for src/common: time, rng, sha1, stats, serialize, status, ids.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <unordered_set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -177,6 +179,38 @@ TEST(Sha1Test, DigestSensitivity) {
   EXPECT_NE(Sha1::Hash("abc"), Sha1::Hash("abd"));
 }
 
+// Every split of a message across Update calls must hash like the one-shot,
+// in particular around the 55/56/64-byte padding boundaries the piggyback
+// digests sit near.
+TEST(Sha1Test, ChunkBoundariesMatchOneShot) {
+  Rng rng(37);
+  for (size_t len : {0u, 1u, 54u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    std::string msg(len, '\0');
+    for (char& c : msg) {
+      c = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    const Sha1Digest expect = Sha1::Hash(msg);
+    Sha1 h;
+    size_t pos = 0;
+    while (pos < msg.size()) {
+      const size_t n = static_cast<size_t>(rng.UniformInt(1, 16));
+      const size_t take = std::min(n, msg.size() - pos);
+      h.Update(msg.data() + pos, take);
+      pos += take;
+    }
+    EXPECT_EQ(h.Finish(), expect) << "len=" << len;
+  }
+}
+
+TEST(Sha1Test, UpdateU64IsBigEndianBytes) {
+  Sha1 a;
+  a.UpdateU64(0x0102030405060708ULL);
+  Sha1 b;
+  const uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  b.Update(bytes, 8);
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
 TEST(StatsTest, Percentiles) {
   Summary s;
   for (int i = 1; i <= 100; ++i) {
@@ -262,12 +296,144 @@ TEST(SerializeTest, CorruptStringLength) {
   EXPECT_FALSE(r.ok());
 }
 
+// Seeded fuzz loop: random typed sequences must round-trip exactly and
+// consume the buffer to the last byte.
+TEST(SerializeTest, RoundTripFuzz) {
+  Rng rng(41);
+  for (int iter = 0; iter < 200; ++iter) {
+    Writer w;
+    struct Op {
+      int kind;
+      uint64_t u;
+      double d;
+      std::string s;
+    };
+    std::vector<Op> ops;
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      Op op;
+      op.kind = static_cast<int>(rng.UniformInt(0, 5));
+      op.u = rng.NextU64();
+      op.d = rng.UniformDouble(-1e9, 1e9);
+      switch (op.kind) {
+        case 0:
+          w.PutU8(static_cast<uint8_t>(op.u));
+          break;
+        case 1:
+          w.PutU16(static_cast<uint16_t>(op.u));
+          break;
+        case 2:
+          w.PutU32(static_cast<uint32_t>(op.u));
+          break;
+        case 3:
+          w.PutU64(op.u);
+          break;
+        case 4:
+          w.PutDouble(op.d);
+          break;
+        case 5: {
+          op.s.resize(static_cast<size_t>(rng.UniformInt(0, 64)));
+          for (char& c : op.s) {
+            c = static_cast<char>(rng.UniformInt(0, 255));
+          }
+          w.PutString(op.s);
+          break;
+        }
+      }
+      ops.push_back(std::move(op));
+    }
+    Reader r(w.bytes());
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case 0:
+          EXPECT_EQ(r.GetU8(), static_cast<uint8_t>(op.u));
+          break;
+        case 1:
+          EXPECT_EQ(r.GetU16(), static_cast<uint16_t>(op.u));
+          break;
+        case 2:
+          EXPECT_EQ(r.GetU32(), static_cast<uint32_t>(op.u));
+          break;
+        case 3:
+          EXPECT_EQ(r.GetU64(), op.u);
+          break;
+        case 4:
+          EXPECT_DOUBLE_EQ(r.GetDouble(), op.d);
+          break;
+        case 5:
+          EXPECT_EQ(r.GetString(), op.s);
+          break;
+      }
+    }
+    ASSERT_TRUE(r.Done()) << "iteration " << iter;
+  }
+}
+
+// Truncating a valid encoding at every possible length must fail cleanly
+// (ok() flips false, reads return zero values), never crash or over-read.
+TEST(SerializeTest, TruncationFuzz) {
+  Writer w;
+  w.PutU16(0xbeef);
+  w.PutString("abcdef");
+  w.PutU64(0x1122334455667788ULL);
+  w.PutDouble(2.5);
+  const auto& full = w.bytes();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    Reader r(full.data(), cut);
+    r.GetU16();
+    r.GetString();
+    r.GetU64();
+    r.GetDouble();
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
 TEST(StatusTest, Basics) {
   EXPECT_TRUE(Status::Ok().ok());
   EXPECT_FALSE(Status::Timeout("x").ok());
   EXPECT_EQ(Status::Timeout().code(), StatusCode::kTimeout);
   EXPECT_EQ(Status::Broken("conn").ToString(), "BROKEN: conn");
   EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode c : {StatusCode::kOk, StatusCode::kTimeout, StatusCode::kUnreachable,
+                       StatusCode::kBroken, StatusCode::kCancelled, StatusCode::kNotFound,
+                       StatusCode::kAlreadyExists, StatusCode::kInvalidArgument,
+                       StatusCode::kFailed}) {
+    EXPECT_STRNE(StatusCodeName(c), "");
+    EXPECT_EQ(Status(c).ToString(), StatusCodeName(c));
+  }
+}
+
+// The callback-heavy layers pass Status values through several hops; code and
+// message must survive copies, moves, and early-return propagation chains.
+TEST(StatusTest, PropagationPreservesCodeAndMessage) {
+  auto inner = [] { return Status::Unreachable("host h42 dropped"); };
+  auto middle = [&]() -> Status {
+    Status s = inner();
+    if (!s.ok()) {
+      return s;  // propagate untouched
+    }
+    return Status::Ok();
+  };
+  auto outer = [&]() -> Status {
+    const Status s = middle();
+    return s.ok() ? Status::Ok() : s;
+  };
+  const Status got = outer();
+  EXPECT_EQ(got.code(), StatusCode::kUnreachable);
+  EXPECT_EQ(got.message(), "host h42 dropped");
+  EXPECT_EQ(got.ToString(), "UNREACHABLE: host h42 dropped");
+
+  Status moved = std::move(const_cast<Status&>(got));
+  EXPECT_EQ(moved.code(), StatusCode::kUnreachable);
+  EXPECT_EQ(moved.message(), "host h42 dropped");
+
+  // Equality compares codes only: same failure class, different detail.
+  EXPECT_EQ(moved, Status::Unreachable("other detail"));
+  EXPECT_NE(moved, Status::Timeout());
 }
 
 TEST(IdsTest, StrongIdBehavior) {

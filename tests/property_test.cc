@@ -202,9 +202,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(FaultKind::kCrashMember, FaultKind::kCrashBystander,
                                          FaultKind::kSignal, FaultKind::kPartition,
                                          FaultKind::kMixed)),
-    [](const ::testing::TestParamInfo<std::tuple<uint64_t, FaultKind>>& info) {
-      return FaultKindName(std::get<1>(info.param)) + "_seed" +
-             std::to_string(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, FaultKind>>& param_info) {
+      return FaultKindName(std::get<1>(param_info.param)) + "_seed" +
+             std::to_string(std::get<0>(param_info.param));
     });
 
 // ---------------------------------------------------------------------------
@@ -251,9 +251,9 @@ TEST_P(OverlayRoutingProperty, RingIsPerfectAndRoutingTerminatesExactly) {
 INSTANTIATE_TEST_SUITE_P(Sizes, OverlayRoutingProperty,
                          ::testing::Combine(::testing::Values(16, 48, 96),
                                             ::testing::Values(21u, 22u, 23u)),
-                         [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& info) {
-                           return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& param_info) {
+                           return "n" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 // ---------------------------------------------------------------------------
