@@ -8,14 +8,23 @@
 // timeout) plus the repair timeouts (60 s member / 120 s root), bounding
 // notification within ~4 minutes.
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fuse;
   using namespace fuse::bench;
+  // --json <path>: also emit machine-readable results (CI perf baseline).
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   Header("Figure 9: crash-failure notification latency CDF", "paper section 7.4, Figure 9");
 
   SimCluster cluster(PaperClusterConfig(9001, /*cluster_mode=*/true));
@@ -87,5 +96,23 @@ int main() {
   std::printf("  done within ~4-5 minutes         : max = %.2f min\n", latency_min.Max());
   std::printf("  ping+repair timeouts dominate    : p50 = %.2f min (paper: ~1.5-2.5)\n",
               latency_min.Median());
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"fig09_crash_notification\", \"nodes\": 400,\n"
+                   "  \"affected_groups\": %d,\n"
+                   "  \"expected_notifications\": %d, \"delivered\": %d,\n"
+                   "  \"latency_min_minutes\": %.3f, \"latency_p50_minutes\": %.3f,\n"
+                   "  \"latency_p90_minutes\": %.3f, \"latency_max_minutes\": %.3f\n"
+                   "}\n",
+                   affected_groups, expected_notifications, delivered, latency_min.Min(),
+                   latency_min.Median(), latency_min.Percentile(90), latency_min.Max());
+      std::fclose(f);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

@@ -5,24 +5,68 @@
 #
 #   scripts/run_benches.sh                 # all figure benches
 #   scripts/run_benches.sh fig09 fig10     # only benches matching a pattern
+#   scripts/run_benches.sh --json fig09    # also collect machine-readable
+#                                          # results into BENCH_scale.json
+#
+# With --json, benches that support it (fig09, scale_10k) additionally write
+# <name>.bench.json, and everything collected is merged into
+# bench-results/BENCH_scale.json — the artifact CI uploads as the perf
+# baseline (regression comparison against a stored baseline can land later).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+emit_json=0
+patterns=()
+for arg in "$@"; do
+  if [[ ${arg} == "--json" ]]; then
+    emit_json=1
+  else
+    patterns+=("${arg}")
+  fi
+done
 
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)" >/dev/null
 
 mkdir -p bench-results
+if [[ ${emit_json} -eq 1 ]]; then
+  # Stale per-bench JSON from earlier runs must not leak into the merged
+  # baseline artifact.
+  rm -f bench-results/*.bench.json
+fi
+json_capable=" bench_fig09_crash_notification bench_scale_10k "
 shopt -s nullglob
 for bin in build/bench/bench_*; do
   [[ -x ${bin} ]] || continue
   name=$(basename "${bin}")
-  if [[ $# -gt 0 ]]; then
+  if [[ ${#patterns[@]} -gt 0 ]]; then
     keep=0
-    for pat in "$@"; do
+    for pat in "${patterns[@]}"; do
       [[ ${name} == *"${pat}"* ]] && keep=1
     done
     [[ ${keep} -eq 1 ]] || continue
   fi
   echo "=== ${name} ==="
-  "${bin}" | tee "bench-results/${name}.txt"
+  extra_args=()
+  if [[ ${emit_json} -eq 1 && ${json_capable} == *" ${name} "* ]]; then
+    extra_args=(--json "bench-results/${name}.bench.json")
+  fi
+  "${bin}" ${extra_args[@]+"${extra_args[@]}"} | tee "bench-results/${name}.txt"
 done
+
+if [[ ${emit_json} -eq 1 ]]; then
+  out=bench-results/BENCH_scale.json
+  {
+    echo '{'
+    first=1
+    for f in bench-results/*.bench.json; do
+      name=$(basename "${f}" .bench.json)
+      [[ ${first} -eq 0 ]] && echo ','
+      first=0
+      printf '"%s":\n' "${name}"
+      cat "${f}"
+    done
+    echo '}'
+  } > "${out}"
+  echo "wrote ${out}"
+fi

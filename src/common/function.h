@@ -1,0 +1,122 @@
+// UniqueFunction: a move-only callable wrapper with a guaranteed small-buffer
+// optimization.
+//
+// std::function only stores a callable inline when it is trivially copyable
+// (libstdc++'s __is_location_invariant, and libc++ behaves the same), so the
+// event core's hot-path closures — which capture a shared_ptr to timer state —
+// always go to the heap. This wrapper stores any nothrow-move-constructible
+// callable up to kInlineSize bytes inline, falling back to the heap only for
+// large captures. Timer rearming and event-queue entry reuse are built on
+// this guarantee: see sim/timer.h and sim/event_queue.h.
+#ifndef FUSE_COMMON_FUNCTION_H_
+#define FUSE_COMMON_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fuse {
+
+class UniqueFunction {
+ public:
+  // Fits the simulator's steady-state closures (a shared_ptr or a `this`
+  // pointer plus a couple of 8-16 byte ids) without heap traffic.
+  static constexpr size_t kInlineSize = 48;
+
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callables must be nothrow move constructible");
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { MoveFrom(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { Reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const UniqueFunction& f, std::nullptr_t) { return f.ops_ == nullptr; }
+  friend bool operator!=(const UniqueFunction& f, std::nullptr_t) { return f.ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* buf);
+    // Moves the stored callable from src into dst's (raw) buffer.
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+    void (*destroy)(unsigned char* buf);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](unsigned char* dst, unsigned char* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](unsigned char* buf) { std::launder(reinterpret_cast<Fn*>(buf))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* buf) { (**reinterpret_cast<Fn**>(buf))(); },
+      [](unsigned char* dst, unsigned char* src) {
+        *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+      },
+      [](unsigned char* buf) { delete *reinterpret_cast<Fn**>(buf); },
+  };
+
+  void MoveFrom(UniqueFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_COMMON_FUNCTION_H_

@@ -66,22 +66,7 @@ void FuseNode::Shutdown() {
   overlay_->SetPingPayloadProvider(nullptr);
   overlay_->SetPingPayloadObserver(nullptr);
   overlay_->SetNeighborFailureHandler(nullptr);
-  Environment& env = transport_->env();
-  for (auto& [id, g] : groups_) {
-    for (auto& [peer, link] : g.links) {
-      env.Cancel(link.timer);
-    }
-    env.Cancel(g.backstop);
-    env.Cancel(g.member_repair_timer);
-    env.Cancel(g.install_timer);
-    env.Cancel(g.scheduled_repair);
-    if (g.repair) {
-      env.Cancel(g.repair->timer);
-    }
-  }
-  for (auto& [id, p] : creating_) {
-    env.Cancel(p.timer);
-  }
+  // Every timer is an RAII handle owned by the state being dropped here.
   groups_.clear();
   creating_.clear();
   links_by_peer_.clear();
@@ -126,8 +111,9 @@ void FuseNode::CreateGroup(std::vector<NodeRef> members, CreateCallback cb) {
     p.awaiting_reply.insert(m.name);
   }
   p.cb = std::move(cb);
-  p.timer = env.Schedule(params_.create_timeout,
-                         [this, id] { FinishCreate(id, Status::Timeout("group create")); });
+  p.timer.Bind(env);
+  p.timer.Start(params_.create_timeout,
+                [this, id] { FinishCreate(id, Status::Timeout("group create")); });
   creating_.emplace(id, std::move(p));
 
   Writer w;
@@ -151,7 +137,7 @@ void FuseNode::FinishCreate(FuseId id, const Status& status) {
   }
   CreatePending p = std::move(it->second);
   creating_.erase(it);
-  transport_->env().Cancel(p.timer);
+  p.timer.Cancel();
 
   if (!status.ok()) {
     // Creation failed: notify everyone who may already have installed state
@@ -181,13 +167,8 @@ void FuseNode::FinishCreate(FuseId id, const Status& status) {
     AddLink(gs, peer, /*seq=*/0);
   }
   if (!gs.install_pending.empty()) {
-    gs.install_timer = transport_->env().Schedule(params_.install_timeout, [this, id] {
-      GroupState* grp = Find(id);
-      if (grp != nullptr) {
-        grp->install_timer = TimerId();
-        RootScheduleRepair(id);
-      }
-    });
+    gs.install_timer.Bind(transport_->env());
+    gs.install_timer.Start(params_.install_timeout, [this, id] { RootScheduleRepair(id); });
   }
   ArmBackstop(gs);
   stats_.groups_created++;
@@ -324,9 +305,8 @@ bool FuseNode::OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall) {
     if (g != nullptr && g->is_root) {
       if (seq == g->seq) {
         g->install_pending.erase(member.name);
-        if (g->install_pending.empty() && g->install_timer.valid()) {
-          transport_->env().Cancel(g->install_timer);
-          g->install_timer = TimerId();
+        if (g->install_pending.empty()) {
+          g->install_timer.Cancel();
         }
       }
       AddLink(*g, upcall.prev_hop, seq);
@@ -402,34 +382,38 @@ void FuseNode::RemoveLink(GroupState& g, HostId peer) {
   if (it == g.links.end()) {
     return;
   }
-  transport_->env().Cancel(it->second.timer);
-  g.links.erase(it);
+  g.links.erase(it);  // the link timer auto-cancels
   EraseLinkIndex(g.id, peer);
 }
 
 void FuseNode::ArmLinkTimer(FuseId id, HostId peer, LinkState& link) {
-  Environment& env = transport_->env();
-  env.Cancel(link.timer);
-  link.timer =
-      env.Schedule(params_.link_liveness_timeout, [this, id, peer] { HandleLinkDown(id, peer); });
+  // The callback is installed once per link; every ping-driven refresh
+  // afterwards is an allocation-free rearm.
+  if (!link.timer.has_callback()) {
+    link.timer.Bind(transport_->env());
+    link.timer.SetCallback([this, id, peer] { HandleLinkDown(id, peer); });
+  }
+  link.timer.Restart(params_.link_liveness_timeout);
 }
 
 void FuseNode::ArmBackstop(GroupState& g) {
-  Environment& env = transport_->env();
-  env.Cancel(g.backstop);
-  const FuseId id = g.id;
-  g.backstop = env.Schedule(params_.link_liveness_timeout, [this, id] {
-    GroupState* grp = Find(id);
-    if (grp == nullptr) {
-      return;
-    }
-    ArmBackstop(*grp);  // keep the backstop alive while we attempt repair
-    if (grp->is_member) {
-      MemberInitiateRepair(*grp);
-    } else if (grp->is_root) {
-      RootScheduleRepair(id);
-    }
-  });
+  if (!g.backstop.has_callback()) {
+    const FuseId id = g.id;
+    g.backstop.Bind(transport_->env());
+    g.backstop.SetCallback([this, id] {
+      GroupState* grp = Find(id);
+      if (grp == nullptr) {
+        return;
+      }
+      ArmBackstop(*grp);  // keep the backstop alive while we attempt repair
+      if (grp->is_member) {
+        MemberInitiateRepair(*grp);
+      } else if (grp->is_root) {
+        RootScheduleRepair(id);
+      }
+    });
+  }
+  g.backstop.Restart(params_.link_liveness_timeout);
 }
 
 std::vector<uint8_t> FuseNode::PingPayloadFor(HostId neighbor) {
@@ -730,17 +714,10 @@ void FuseNode::DropGroup(FuseId id, bool deliver_to_app) {
     return;
   }
   GroupState& g = it->second;
-  Environment& env = transport_->env();
+  // Erasing the group below disarms every timer it owns (links, backstop,
+  // repair machinery); only the peer index needs explicit maintenance.
   for (auto& [peer, link] : g.links) {
-    env.Cancel(link.timer);
     EraseLinkIndex(id, peer);
-  }
-  env.Cancel(g.backstop);
-  env.Cancel(g.member_repair_timer);
-  env.Cancel(g.install_timer);
-  env.Cancel(g.scheduled_repair);
-  if (g.repair) {
-    env.Cancel(g.repair->timer);
   }
   const bool was_participant = g.is_root || g.is_member;
   FailureHandler handler = std::move(g.handler);
@@ -759,7 +736,7 @@ void FuseNode::DropGroup(FuseId id, bool deliver_to_app) {
 // ---------------------------------------------------------------------------
 
 void FuseNode::MemberInitiateRepair(GroupState& g) {
-  if (g.member_repair_timer.valid()) {
+  if (g.member_repair_timer.pending()) {
     return;  // already waiting for the root
   }
   const FuseId id = g.id;
@@ -781,14 +758,14 @@ void FuseNode::MemberInitiateRepair(GroupState& g) {
       DeliverLocalFailure(id);
     }
   });
-  g.member_repair_timer = transport_->env().Schedule(params_.member_repair_timeout, [this, id] {
+  g.member_repair_timer.Bind(transport_->env());
+  g.member_repair_timer.Start(params_.member_repair_timeout, [this, id] {
     // No repair response from the root within a minute (paper 6.5 / 7.4):
     // signal locally, best-effort Hard to the root, clean up.
     GroupState* grp = Find(id);
     if (grp == nullptr) {
       return;
     }
-    grp->member_repair_timer = TimerId();
     SendHard(id, grp->root.host);
     SendSoftToTree(*grp, HostId(), grp->seq);
     DeliverLocalFailure(id);
@@ -816,7 +793,7 @@ void FuseNode::RootScheduleRepair(FuseId id) {
   if (g == nullptr || !g->is_root) {
     return;
   }
-  if (g->repair != nullptr || g->scheduled_repair.valid()) {
+  if (g->repair != nullptr || g->scheduled_repair.pending()) {
     return;  // a repair is already running or queued
   }
   Environment& env = transport_->env();
@@ -831,13 +808,8 @@ void FuseNode::RootScheduleRepair(FuseId id) {
   g->repair_backoff = g->repair_backoff.IsZero()
                           ? params_.repair_backoff_initial
                           : std::min(g->repair_backoff * int64_t{2}, params_.repair_backoff_cap);
-  g->scheduled_repair = env.Schedule(delay, [this, id] {
-    GroupState* grp = Find(id);
-    if (grp != nullptr) {
-      grp->scheduled_repair = TimerId();
-      RootStartRepair(id);
-    }
-  });
+  g->scheduled_repair.Bind(env);
+  g->scheduled_repair.Start(delay, [this, id] { RootStartRepair(id); });
 }
 
 void FuseNode::RootStartRepair(FuseId id) {
@@ -855,10 +827,9 @@ void FuseNode::RootStartRepair(FuseId id) {
     g->repair->awaiting_reply.insert(m.name);
     g->install_pending.insert(m.name);
   }
-  env.Cancel(g->install_timer);
-  g->install_timer = TimerId();
-  g->repair->timer =
-      env.Schedule(params_.root_repair_timeout, [this, id] { RootRepairFailed(id); });
+  g->install_timer.Cancel();
+  g->repair->timer.Bind(env);
+  g->repair->timer.Start(params_.root_repair_timeout, [this, id] { RootRepairFailed(id); });
 
   for (const auto& m : g->members) {
     WireMessage msg;
@@ -901,10 +872,7 @@ void FuseNode::OnRepairRequest(const WireMessage& msg) {
   // Adopt the new tree incarnation: stale SoftNotifications for the old tree
   // are discarded from here on (paper 6.5).
   g->seq = std::max(g->seq, new_seq);
-  if (g->member_repair_timer.valid()) {
-    transport_->env().Cancel(g->member_repair_timer);
-    g->member_repair_timer = TimerId();
-  }
+  g->member_repair_timer.Cancel();
   // The old tree links are obsolete; the new InstallChecking re-creates them.
   const std::vector<HostId> old_links = [&] {
     std::vector<HostId> v;
@@ -952,16 +920,10 @@ void FuseNode::OnRepairReply(const WireMessage& msg) {
   }
   // Every member answered: the repair round succeeded. Now wait for the new
   // liveness paths to install.
-  transport_->env().Cancel(g->repair->timer);
-  g->repair.reset();
+  g->repair.reset();  // the repair timer auto-cancels
   if (!g->install_pending.empty()) {
-    g->install_timer = transport_->env().Schedule(params_.install_timeout, [this, id] {
-      GroupState* grp = Find(id);
-      if (grp != nullptr) {
-        grp->install_timer = TimerId();
-        RootScheduleRepair(id);
-      }
-    });
+    g->install_timer.Bind(transport_->env());
+    g->install_timer.Start(params_.install_timeout, [this, id] { RootScheduleRepair(id); });
   }
 }
 

@@ -35,6 +35,7 @@
 #include "fuse/fuse_id.h"
 #include "fuse/params.h"
 #include "overlay/skipnet_node.h"
+#include "sim/timer.h"
 #include "transport/transport.h"
 
 namespace fuse {
@@ -102,9 +103,12 @@ class FuseNode {
   void Shutdown();
 
  private:
+  // All timers below are RAII handles: dropping a LinkState, CreatePending,
+  // RepairPending, or GroupState disarms everything it owns, so the teardown
+  // paths need no explicit cancellation bookkeeping.
   struct LinkState {
     uint32_t seq = 0;           // tree incarnation this link belongs to
-    TimerId timer;              // liveness backstop for this link
+    Timer timer;                // liveness backstop for this link
     TimePoint installed_at;     // for the reconcile grace period
   };
 
@@ -114,12 +118,12 @@ class FuseNode {
     std::set<std::string> installed_early;   // InstallChecking before reply
     std::vector<HostId> early_links;         // last hops of early installs
     CreateCallback cb;
-    TimerId timer;
+    Timer timer;
   };
 
   struct RepairPending {
     std::set<std::string> awaiting_reply;
-    TimerId timer;
+    Timer timer;
   };
 
   struct GroupState {
@@ -136,18 +140,18 @@ class FuseNode {
     // Members/root: group-level liveness backstop (paper 6.2: "a timer ...
     // that will signal failure in the event of future communication
     // failures", reset only by liveness checking).
-    TimerId backstop;
+    Timer backstop;
 
     // Member: waiting to hear from the root after initiating repair.
-    TimerId member_repair_timer;
+    Timer member_repair_timer;
 
     // Root: repair bookkeeping.
     std::unique_ptr<RepairPending> repair;
     std::set<std::string> install_pending;  // members whose path is not installed
-    TimerId install_timer;
+    Timer install_timer;
     Duration repair_backoff = Duration::Zero();
     TimePoint last_repair_time;
-    TimerId scheduled_repair;
+    Timer scheduled_repair;
 
     FailureHandler handler;
   };

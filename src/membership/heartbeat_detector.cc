@@ -9,23 +9,33 @@ HeartbeatDetector::HeartbeatDetector(Transport* transport, HeartbeatConfig confi
     : transport_(transport), config_(config) {
   transport_->RegisterHandler(msgtype::kSwimPing,
                               [this](const WireMessage& m) { OnHeartbeat(m); });
+  send_timer_.Bind(transport_->env());
 }
 
 HeartbeatDetector::~HeartbeatDetector() { Stop(); }
 
 void HeartbeatDetector::Start(const std::vector<HostId>& peers) {
+  Environment& env = transport_->env();
   for (HostId p : peers) {
     if (p != transport_->local_host()) {
-      peers_.emplace(p, Peer{});
+      auto [it, inserted] = peers_.emplace(p, Peer(env));
+      it->second.timeout_timer.SetCallback([this, p] {
+        auto& pp = peers_.at(p);
+        if (pp.up) {
+          pp.up = false;
+          if (on_status_) {
+            on_status_(p, false);
+          }
+        }
+      });
     }
   }
   running_ = true;
   for (auto& [h, peer] : peers_) {
-    ArmTimeout(h);
+    peer.timeout_timer.Restart(config_.timeout);
   }
-  const Duration phase =
-      Duration::Micros(transport_->env().rng().UniformInt(0, config_.period.ToMicros()));
-  send_timer_ = transport_->env().Schedule(phase, [this] { SendHeartbeats(); });
+  const Duration phase = Duration::Micros(env.rng().UniformInt(0, config_.period.ToMicros()));
+  send_timer_.Start(phase, config_.period, [this] { SendHeartbeats(); });
 }
 
 void HeartbeatDetector::Stop() {
@@ -33,9 +43,9 @@ void HeartbeatDetector::Stop() {
     return;
   }
   running_ = false;
-  transport_->env().Cancel(send_timer_);
+  send_timer_.Stop();
   for (auto& [h, peer] : peers_) {
-    transport_->env().Cancel(peer.timeout_timer);
+    peer.timeout_timer.Cancel();
   }
 }
 
@@ -66,7 +76,6 @@ void HeartbeatDetector::SendHeartbeats() {
     msg.payload = {0x48};
     transport_->Send(std::move(msg), nullptr);
   }
-  send_timer_ = transport_->env().Schedule(config_.period, [this] { SendHeartbeats(); });
 }
 
 void HeartbeatDetector::OnHeartbeat(const WireMessage& msg) {
@@ -80,21 +89,7 @@ void HeartbeatDetector::OnHeartbeat(const WireMessage& msg) {
       on_status_(msg.from, true);
     }
   }
-  ArmTimeout(msg.from);
-}
-
-void HeartbeatDetector::ArmTimeout(HostId peer) {
-  auto& p = peers_[peer];
-  transport_->env().Cancel(p.timeout_timer);
-  p.timeout_timer = transport_->env().Schedule(config_.timeout, [this, peer] {
-    auto& pp = peers_[peer];
-    if (pp.up) {
-      pp.up = false;
-      if (on_status_) {
-        on_status_(peer, false);
-      }
-    }
-  });
+  it->second.timeout_timer.Restart(config_.timeout);
 }
 
 }  // namespace fuse

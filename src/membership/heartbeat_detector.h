@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/timer.h"
 #include "transport/transport.h"
 
 namespace fuse {
@@ -37,19 +38,20 @@ class HeartbeatDetector {
 
  private:
   struct Peer {
+    explicit Peer(Environment& env) : timeout_timer(env) {}
+
     bool up = true;
-    TimerId timeout_timer;
+    Timer timeout_timer;  // callback installed once; heartbeats just rearm
   };
 
   void SendHeartbeats();
   void OnHeartbeat(const WireMessage& msg);
-  void ArmTimeout(HostId peer);
 
   Transport* transport_;
   HeartbeatConfig config_;
   bool running_ = false;
   std::unordered_map<HostId, Peer> peers_;
-  TimerId send_timer_;
+  PeriodicTimer send_timer_;
   StatusHandler on_status_;
 };
 

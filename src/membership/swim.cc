@@ -27,17 +27,19 @@ SwimMember::SwimMember(Transport* transport, SwimConfig config)
 SwimMember::~SwimMember() { Stop(); }
 
 void SwimMember::Start(const std::vector<HostId>& peers) {
+  Environment& env = transport_->env();
   for (HostId p : peers) {
     if (p != transport_->local_host()) {
-      members_.emplace(p, Member{});
+      members_.emplace(p, Member(env));
       probe_order_.push_back(p);
     }
   }
-  transport_->env().rng().Shuffle(probe_order_);
+  env.rng().Shuffle(probe_order_);
   running_ = true;
-  const Duration phase = Duration::Micros(
-      transport_->env().rng().UniformInt(0, config_.protocol_period.ToMicros()));
-  tick_timer_ = transport_->env().Schedule(phase, [this] { Tick(); });
+  tick_timer_.Bind(env);
+  const Duration phase =
+      Duration::Micros(env.rng().UniformInt(0, config_.protocol_period.ToMicros()));
+  tick_timer_.Start(phase, config_.protocol_period, [this] { Tick(); });
 }
 
 void SwimMember::Stop() {
@@ -45,14 +47,10 @@ void SwimMember::Stop() {
     return;
   }
   running_ = false;
-  transport_->env().Cancel(tick_timer_);
-  for (auto& [seq, probe] : probes_) {
-    transport_->env().Cancel(probe.direct_timer);
-    transport_->env().Cancel(probe.final_timer);
-  }
-  probes_.clear();
+  tick_timer_.Stop();
+  probes_.clear();  // probe timers auto-cancel
   for (auto& [h, m] : members_) {
-    transport_->env().Cancel(m.suspicion_timer);
+    m.suspicion_timer.Cancel();
   }
 }
 
@@ -153,7 +151,6 @@ void SwimMember::Tick() {
   if (!running_) {
     return;
   }
-  tick_timer_ = transport_->env().Schedule(config_.protocol_period, [this] { Tick(); });
   // Round-robin over a shuffled order (SWIM's bounded-time probing).
   HostId target;
   for (size_t i = 0; i < probe_order_.size(); ++i) {
@@ -173,14 +170,13 @@ void SwimMember::Tick() {
   }
   const uint64_t seq = next_seq_++;
   stats_.probes_sent++;
-  Probe probe;
+  Probe probe(transport_->env());
   probe.target = target;
-  probe.direct_timer = transport_->env().Schedule(config_.direct_timeout,
-                                                  [this, seq] { ProbeTimedOut(seq); });
+  probe.direct_timer.Start(config_.direct_timeout, [this, seq] { ProbeTimedOut(seq); });
   // Verdict at the end of the protocol period (SWIM's bounded detection).
-  probe.final_timer = transport_->env().Schedule(config_.protocol_period * int64_t{9} / int64_t{10},
-                                                 [this, seq] { ProbeFinalCheck(seq); });
-  probes_.emplace(seq, probe);
+  probe.final_timer.Start(config_.protocol_period * int64_t{9} / int64_t{10},
+                          [this, seq] { ProbeFinalCheck(seq); });
+  probes_.emplace(seq, std::move(probe));
 
   WireMessage msg;
   msg.to = target;
@@ -223,16 +219,16 @@ void SwimMember::ProbeFinalCheck(uint64_t seq) {
   if (it == probes_.end()) {
     return;
   }
-  const Probe probe = it->second;
-  probes_.erase(it);
-  transport_->env().Cancel(probe.direct_timer);
-  if (probe.acked) {
+  const HostId target = it->second.target;
+  const bool acked = it->second.acked;
+  probes_.erase(it);  // remaining probe timers auto-cancel
+  if (acked) {
     return;
   }
-  const auto mit = members_.find(probe.target);
+  const auto mit = members_.find(target);
   if (mit != members_.end()) {
-    Suspect(probe.target, mit->second.incarnation);
-    QueueUpdate(probe.target, State::kSuspect, mit->second.incarnation);
+    Suspect(target, mit->second.incarnation);
+    QueueUpdate(target, State::kSuspect, mit->second.incarnation);
   }
 }
 
@@ -240,7 +236,7 @@ void SwimMember::MarkProbeAcked(uint64_t seq, HostId subject) {
   const auto it = probes_.find(seq);
   if (it != probes_.end() && it->second.target == subject) {
     it->second.acked = true;
-    transport_->env().Cancel(it->second.direct_timer);
+    it->second.direct_timer.Cancel();
   }
 }
 
@@ -335,12 +331,10 @@ void SwimMember::Suspect(HostId target, uint32_t incarnation) {
   }
   m.state = State::kSuspect;
   m.incarnation = incarnation;
-  transport_->env().Cancel(m.suspicion_timer);
-  m.suspicion_timer =
-      transport_->env().Schedule(config_.suspicion_timeout, [this, target, incarnation] {
-        DeclareDead(target, incarnation);
-        QueueUpdate(target, State::kDead, incarnation);
-      });
+  m.suspicion_timer.Start(config_.suspicion_timeout, [this, target, incarnation] {
+    DeclareDead(target, incarnation);
+    QueueUpdate(target, State::kDead, incarnation);
+  });
 }
 
 void SwimMember::DeclareDead(HostId target, uint32_t incarnation) {
@@ -354,7 +348,7 @@ void SwimMember::DeclareDead(HostId target, uint32_t incarnation) {
   }
   m.state = State::kDead;
   m.incarnation = incarnation;
-  transport_->env().Cancel(m.suspicion_timer);
+  m.suspicion_timer.Cancel();
   stats_.deaths_declared++;
   if (on_death_) {
     on_death_(target);
@@ -373,7 +367,7 @@ void SwimMember::MarkAlive(HostId target, uint32_t incarnation) {
   if (m.state == State::kSuspect && incarnation >= m.incarnation) {
     m.state = State::kAlive;
     m.incarnation = incarnation;
-    transport_->env().Cancel(m.suspicion_timer);
+    m.suspicion_timer.Cancel();
   }
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/serialize.h"
+#include "sim/timer.h"
 #include "transport/transport.h"
 
 namespace fuse {
@@ -66,9 +67,11 @@ class SwimMember {
 
  private:
   struct Member {
+    explicit Member(Environment& env) : suspicion_timer(env) {}
+
     State state = State::kAlive;
     uint32_t incarnation = 0;
-    TimerId suspicion_timer;
+    Timer suspicion_timer;  // auto-cancelled when the member entry is dropped
   };
   struct Update {
     HostId subject;
@@ -78,10 +81,12 @@ class SwimMember {
   };
 
   struct Probe {
+    explicit Probe(Environment& env) : direct_timer(env), final_timer(env) {}
+
     HostId target;
     bool acked = false;
-    TimerId direct_timer;
-    TimerId final_timer;
+    Timer direct_timer;  // indirect-probe fallback
+    Timer final_timer;   // end-of-period verdict; auto-cancelled on erase
   };
 
   void Tick();
@@ -113,7 +118,7 @@ class SwimMember {
 
   uint64_t next_seq_ = 1;
   std::unordered_map<uint64_t, Probe> probes_;  // outstanding probes by seq
-  TimerId tick_timer_;
+  PeriodicTimer tick_timer_;
 
   std::deque<Update> gossip_;
   // Proxy bookkeeping: seq -> requester awaiting a relayed ack.

@@ -16,27 +16,14 @@ PingManager::PingManager(Transport* transport, Duration period, Duration timeout
 
 PingManager::~PingManager() { Stop(); }
 
-void PingManager::CancelTimers(Peer& p) {
-  if (p.next_ping.valid()) {
-    transport_->env().Cancel(p.next_ping);
-    p.next_ping = TimerId();
-  }
-  if (p.timeout.valid()) {
-    transport_->env().Cancel(p.timeout);
-    p.timeout = TimerId();
-  }
-  p.awaiting_seq = 0;
-}
-
 void PingManager::Start() {
   if (running_) {
     return;
   }
   running_ = true;
   for (auto& [host, peer] : peers_) {
-    if (!peer.next_ping.valid() && !peer.failed) {
-      SchedulePing(host,
-                   Duration::Micros(transport_->env().rng().UniformInt(0, period_.ToMicros())));
+    if (!peer.ping.running() && !peer.failed) {
+      StartPeerPings(host);
     }
   }
 }
@@ -47,45 +34,48 @@ void PingManager::Stop() {
   }
   running_ = false;
   for (auto& [host, peer] : peers_) {
-    CancelTimers(peer);
+    peer.ping.Stop();
+    peer.timeout.Cancel();
   }
 }
 
 void PingManager::UpdateNeighbors(const std::vector<HostId>& neighbors) {
-  // Remove peers no longer in the set.
+  // Remove peers no longer in the set (their timers auto-cancel).
   std::unordered_map<HostId, bool> wanted;
   for (HostId h : neighbors) {
     wanted[h] = true;
   }
   for (auto it = peers_.begin(); it != peers_.end();) {
     if (!wanted.contains(it->first)) {
-      CancelTimers(it->second);
       it = peers_.erase(it);
     } else {
       ++it;
     }
   }
-  // Add new peers with a jittered first ping (spreads load; matches the
-  // steady-state message-rate accounting of section 7.5).
   for (HostId h : neighbors) {
     if (!peers_.contains(h)) {
-      Peer p;
-      peers_.emplace(h, p);
+      auto [it, inserted] = peers_.emplace(h, Peer(transport_->env()));
+      // The timeout callback is installed once; every subsequent ping just
+      // rearms it (Restart), allocation-free.
+      it->second.timeout.SetCallback([this, h] { HandleFailure(h); });
       if (running_) {
-        SchedulePing(h,
-                     Duration::Micros(transport_->env().rng().UniformInt(0, period_.ToMicros())));
+        StartPeerPings(h);
       }
     }
   }
 }
 
-void PingManager::SchedulePing(HostId peer, Duration delay) {
+void PingManager::StartPeerPings(HostId peer) {
   auto it = peers_.find(peer);
   if (it == peers_.end() || it->second.failed) {
     return;
   }
-  it->second.next_ping =
-      transport_->env().Schedule(delay, [this, peer] { SendPing(peer); });
+  // A jittered first ping spreads load over the period (matches the
+  // steady-state message-rate accounting of section 7.5); afterwards the
+  // cycle is strictly periodic.
+  const Duration phase =
+      Duration::Micros(transport_->env().rng().UniformInt(0, period_.ToMicros()));
+  it->second.ping.Start(phase, period_, [this, peer] { SendPing(peer); });
 }
 
 void PingManager::SendPing(HostId peer) {
@@ -94,9 +84,7 @@ void PingManager::SendPing(HostId peer) {
     return;
   }
   Peer& p = it->second;
-  p.next_ping = TimerId();
   const uint64_t seq = next_seq_++;
-  p.awaiting_seq = seq;
 
   Writer w;
   w.PutU64(seq);
@@ -110,7 +98,12 @@ void PingManager::SendPing(HostId peer) {
   msg.category = MsgCategory::kOverlayPing;
   msg.payload = w.Take();
 
-  p.timeout = transport_->env().Schedule(timeout_, [this, peer] { HandleFailure(peer); });
+  // Keep the earliest outstanding deadline: if timeout >= period, a new
+  // periodic send must not push out the failure verdict for the previous,
+  // still-unanswered ping (a dead peer would never time out otherwise).
+  if (!p.timeout.pending()) {
+    p.timeout.Restart(timeout_);
+  }
   transport_->Send(std::move(msg), [this, peer](const Status& s) {
     if (!s.ok()) {
       HandleFailure(peer);
@@ -149,7 +142,7 @@ void PingManager::OnPing(const WireMessage& msg) {
 
 void PingManager::OnPingReply(const WireMessage& msg) {
   Reader r(msg.payload);
-  const uint64_t seq = r.GetU64();
+  r.GetU64();  // echoed seq; liveness only needs "a reply arrived"
   const uint32_t len = r.GetU32();
   std::vector<uint8_t> remote_payload(len);
   r.GetBytes(remote_payload.data(), len);
@@ -157,14 +150,12 @@ void PingManager::OnPingReply(const WireMessage& msg) {
     return;
   }
   auto it = peers_.find(msg.from);
-  if (it != peers_.end() && it->second.awaiting_seq == seq) {
-    Peer& p = it->second;
-    p.awaiting_seq = 0;
-    if (p.timeout.valid()) {
-      transport_->env().Cancel(p.timeout);
-      p.timeout = TimerId();
-    }
-    SchedulePing(msg.from, period_);
+  if (it != peers_.end()) {
+    // Any reply from the peer proves liveness, so disarm the failure timeout
+    // even if it answers an older ping than the latest one sent (with
+    // timeout >= period several pings can be outstanding; a reply slower
+    // than one period must not count as a failure).
+    it->second.timeout.Cancel();
   }
   if (observer_) {
     observer_(msg.from, remote_payload);
@@ -177,7 +168,8 @@ void PingManager::HandleFailure(HostId peer) {
     return;
   }
   Peer& p = it->second;
-  CancelTimers(p);
+  p.ping.Stop();
+  p.timeout.Cancel();
   p.failed = true;  // stop pinging; owner removes the peer via UpdateNeighbors
   if (on_failure_) {
     on_failure_(peer);

@@ -6,6 +6,11 @@
 // its 20-byte SHA-1 hash of the jointly monitored group list (section 6.1),
 // so FUSE adds no messages of its own in the failure-free steady state.
 // Links are monitored from both sides: each endpoint pings independently.
+//
+// Each peer owns a rearming PeriodicTimer (phase-jittered so the cluster's
+// ping load spreads over the period) and a one-shot timeout Timer whose
+// callback is installed once at peer creation — the steady-state
+// send/ack/rearm cycle allocates nothing.
 #ifndef FUSE_OVERLAY_PING_MANAGER_H_
 #define FUSE_OVERLAY_PING_MANAGER_H_
 
@@ -16,6 +21,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "sim/timer.h"
 #include "transport/transport.h"
 
 namespace fuse {
@@ -54,18 +60,19 @@ class PingManager {
 
  private:
   struct Peer {
-    TimerId next_ping;
-    TimerId timeout;
-    uint64_t awaiting_seq = 0;  // nonzero while a ping is outstanding
-    bool failed = false;        // failure already reported; awaiting removal
+    explicit Peer(Environment& env) : ping(env), timeout(env) {}
+
+    PeriodicTimer ping;  // sends one ping per period (jittered phase)
+    Timer timeout;       // armed while a ping is unanswered; any reply disarms
+    bool failed = false; // failure already reported; awaiting removal
   };
 
-  void SchedulePing(HostId peer, Duration delay);
+  // Begins the peer's periodic ping cycle at a jittered phase.
+  void StartPeerPings(HostId peer);
   void SendPing(HostId peer);
   void OnPing(const WireMessage& msg);
   void OnPingReply(const WireMessage& msg);
   void HandleFailure(HostId peer);
-  void CancelTimers(Peer& p);
 
   Transport* transport_;
   Duration period_;

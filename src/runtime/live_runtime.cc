@@ -34,13 +34,14 @@ TimePoint LiveRuntime::Now() const {
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
 }
 
-TimerId LiveRuntime::Schedule(Duration d, std::function<void()> fn) {
+TimerId LiveRuntime::Schedule(Duration d, UniqueFunction fn) {
   const auto when = std::chrono::steady_clock::now() + std::chrono::microseconds(d.ToMicros());
   uint64_t seq;
   {
     std::lock_guard<std::mutex> lock(mu_);
     seq = next_seq_++;
     queue_.emplace(std::make_pair(when, seq), std::move(fn));
+    pending_.emplace(seq, when);
   }
   cv_.notify_all();
   return TimerId(seq);
@@ -48,10 +49,15 @@ TimerId LiveRuntime::Schedule(Duration d, std::function<void()> fn) {
 
 bool LiveRuntime::Cancel(TimerId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!id.valid() || id.value >= next_seq_ || cancelled_.contains(id.value)) {
+  if (!id.valid()) {
     return false;
   }
-  cancelled_.insert(id.value);
+  const auto it = pending_.find(id.value);
+  if (it == pending_.end()) {
+    return false;  // already ran, already cancelled, or never issued
+  }
+  queue_.erase(std::make_pair(it->second, id.value));
+  pending_.erase(it);
   return true;
 }
 
@@ -73,13 +79,9 @@ void LiveRuntime::Loop() {
       continue;
     }
     const uint64_t seq = it->first.second;
-    std::function<void()> fn = std::move(it->second);
+    UniqueFunction fn = std::move(it->second);
     queue_.erase(it);
-    const auto cit = cancelled_.find(seq);
-    if (cit != cancelled_.end()) {
-      cancelled_.erase(cit);
-      continue;
-    }
+    pending_.erase(seq);
     lock.unlock();
     fn();
     lock.lock();

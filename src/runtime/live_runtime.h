@@ -40,7 +40,7 @@ class LiveRuntime : public Environment {
 
   // Environment (callable from any thread; handlers run on the loop thread).
   TimePoint Now() const override;
-  TimerId Schedule(Duration d, std::function<void()> fn) override;
+  TimerId Schedule(Duration d, UniqueFunction fn) override;
   bool Cancel(TimerId id) override;
   Rng& rng() override { return rng_; }
   Metrics& metrics() override { return metrics_; }
@@ -62,18 +62,6 @@ class LiveRuntime : public Environment {
   void UnregisterAllHandlers(HostId h);
 
  private:
-  struct Entry {
-    std::chrono::steady_clock::time_point when;
-    uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Entry& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return seq > other.seq;
-    }
-  };
-
   void Loop();
 
   Config config_;
@@ -83,10 +71,12 @@ class LiveRuntime : public Environment {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::multimap<std::pair<std::chrono::steady_clock::time_point, uint64_t>,
-                std::function<void()>>
+  std::multimap<std::pair<std::chrono::steady_clock::time_point, uint64_t>, UniqueFunction>
       queue_;
-  std::unordered_set<uint64_t> cancelled_;
+  // seq -> deadline for every queued (not yet fired) event, so Cancel can
+  // erase the queue entry eagerly and reject already-fired ids — mirroring
+  // the sim event queue's accounting semantics.
+  std::unordered_map<uint64_t, std::chrono::steady_clock::time_point> pending_;
   uint64_t next_seq_ = 1;
   bool stopping_ = false;
 

@@ -143,16 +143,23 @@ void SimCluster::StartChurn(size_t first, size_t count, Duration mean_uptime,
   churning_ = true;
   churn_uptime_ = mean_uptime;
   churn_downtime_ = mean_downtime;
+  churn_timers_.resize(nodes_.size());
   for (size_t i = first; i < first + count && i < nodes_.size(); ++i) {
     ScheduleChurnDeath(i);
   }
 }
 
-void SimCluster::StopChurn() { churning_ = false; }
+void SimCluster::StopChurn() {
+  churning_ = false;
+  for (Timer& t : churn_timers_) {
+    t.Cancel();
+  }
+}
 
 void SimCluster::ScheduleChurnDeath(size_t i) {
   const Duration life = Duration::SecondsF(sim_.rng().Exponential(churn_uptime_.ToSecondsF()));
-  sim_.Schedule(life, [this, i] {
+  churn_timers_[i].Bind(sim_);
+  churn_timers_[i].Start(life, [this, i] {
     if (!churning_ || !IsUp(i)) {
       return;
     }
@@ -163,7 +170,7 @@ void SimCluster::ScheduleChurnDeath(size_t i) {
 
 void SimCluster::ScheduleChurnRebirth(size_t i) {
   const Duration down = Duration::SecondsF(sim_.rng().Exponential(churn_downtime_.ToSecondsF()));
-  sim_.Schedule(down, [this, i] {
+  churn_timers_[i].Start(down, [this, i] {
     if (!churning_ || up_[i]) {
       return;
     }

@@ -11,6 +11,7 @@
 #include "net/network.h"
 #include "runtime/node.h"
 #include "sim/simulation.h"
+#include "sim/timer.h"
 #include "transport/tcp_model.h"
 
 namespace fuse {
@@ -31,6 +32,21 @@ struct ClusterConfig {
   int hosts_per_machine = 1;
   // Nodes joined concurrently during Build (smaller = slower but gentler).
   int join_batch = 16;
+
+  // Preset for large-scale runs (1k-10k+ virtual nodes, well past the
+  // paper's 400): simulator cost model, the paper's 10-nodes-per-machine
+  // co-location, and an aggressive join batch so Build() converges quickly.
+  // The timer-wheel event core keeps the steady-state ping load (every node
+  // pings every distinct neighbor each period) cheap at this scale.
+  static ClusterConfig LargeScale(int num_nodes, uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.num_nodes = num_nodes;
+    cfg.seed = seed;
+    cfg.cost = CostModel::Simulator();
+    cfg.hosts_per_machine = 10;
+    cfg.join_batch = 64;
+    return cfg;
+  }
 };
 
 class SimCluster {
@@ -103,6 +119,9 @@ class SimCluster {
   bool churning_ = false;
   Duration churn_uptime_;
   Duration churn_downtime_;
+  // One kill/restart timer per churned node; StopChurn disarms them all
+  // instead of leaving dead events in the queue.
+  std::vector<Timer> churn_timers_;
 };
 
 }  // namespace fuse

@@ -5,8 +5,7 @@
 #ifndef FUSE_SIM_ENVIRONMENT_H_
 #define FUSE_SIM_ENVIRONMENT_H_
 
-#include <functional>
-
+#include "common/function.h"
 #include "common/ids.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -21,7 +20,9 @@ class Environment {
   virtual TimePoint Now() const = 0;
 
   // Schedules `fn` to run after `d`. The returned id can cancel it.
-  virtual TimerId Schedule(Duration d, std::function<void()> fn) = 0;
+  // UniqueFunction keeps small captures inline, so scheduling a typical
+  // protocol closure does not allocate.
+  virtual TimerId Schedule(Duration d, UniqueFunction fn) = 0;
   virtual bool Cancel(TimerId id) = 0;
 
   // Source of all randomness for code running in this environment.

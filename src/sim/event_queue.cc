@@ -1,19 +1,167 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace fuse {
 
+EventQueue::EventQueue() {
+  // Typical steady-state pending count for a mid-size cluster; avoids the
+  // first few pool reallocations.
+  pool_.reserve(1024);
+  free_list_.reserve(1024);
+}
+
+uint32_t EventQueue::AllocEvent(TimePoint when, EventFn fn) {
+  uint32_t index;
+  if (!free_list_.empty()) {
+    index = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    index = static_cast<uint32_t>(pool_.size());
+    FUSE_CHECK(pool_.size() < UINT32_MAX) << "event pool exhausted";
+    pool_.emplace_back();
+  }
+  Event& e = pool_[index];
+  e.when = when;
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  return index;
+}
+
+void EventQueue::ReleaseEvent(uint32_t index) {
+  Event& e = pool_[index];
+  e.fn = nullptr;  // release the closure now; a heap ref may linger
+  e.where = Event::Where::kFree;
+  e.generation++;
+  free_list_.push_back(index);
+}
+
+void EventQueue::Place(Ref r) {
+  Event& e = pool_[r.index];
+  const uint64_t slot0 = SlotOf(e.when, 0);
+  if (slot0 < cursor_) {
+    // The covering slot was already drained (the event lands inside the
+    // window currently being run); order it through the due heap.
+    e.where = Event::Where::kDue;
+    due_.push(DueEntry{e.when, e.seq, r});
+    return;
+  }
+  for (int level = 0; level < kLevels; ++level) {
+    const uint64_t slot = SlotOf(e.when, level);
+    if (slot - (cursor_ >> (level * kSlotBits)) < kSlots) {
+      std::vector<Ref>& bucket = levels_[level][slot & kSlotMask];
+      e.where = Event::Where::kWheel;
+      e.level = static_cast<uint8_t>(level);
+      e.slot = static_cast<uint32_t>(slot & kSlotMask);
+      e.pos = static_cast<uint32_t>(bucket.size());
+      bucket.push_back(r);
+      level_refs_[level]++;
+      return;
+    }
+  }
+  e.where = Event::Where::kOverflow;
+  overflow_.push(OverflowEntry{e.when, r});
+}
+
+void EventQueue::DrainSlot(int level, uint64_t slot) {
+  std::vector<Ref>& bucket = levels_[level][slot & kSlotMask];
+  if (bucket.empty()) {
+    return;
+  }
+  // Move the refs out so Place (level 0: due_ pushes; level > 0: re-inserts
+  // one level down) never appends to the bucket being drained.
+  std::vector<Ref> refs;
+  refs.swap(bucket);
+  level_refs_[level] -= refs.size();
+  for (Ref r : refs) {
+    Place(r);  // wheel refs are always live (Cancel removes eagerly)
+  }
+  // Return the emptied vector to the slot so its capacity is reused.
+  refs.clear();
+  bucket = std::move(refs);
+}
+
+void EventQueue::RefillFromOverflow() {
+  const uint64_t top_horizon = (cursor_ >> ((kLevels - 1) * kSlotBits)) + kSlots;
+  while (!overflow_.empty()) {
+    const OverflowEntry& top = overflow_.top();
+    if (!IsLive(top.ref)) {
+      overflow_.pop();
+      continue;
+    }
+    if (SlotOf(top.when, kLevels - 1) >= top_horizon) {
+      return;
+    }
+    const Ref r = top.ref;
+    overflow_.pop();
+    Place(r);
+  }
+}
+
+bool EventQueue::FillDue() {
+  // Skim stale (cancelled) entries so `due_.top()` is always live.
+  while (!due_.empty() && !IsLive(due_.top().ref)) {
+    due_.pop();
+  }
+  while (due_.empty()) {
+    if (live_count_ == 0) {
+      return false;
+    }
+    if (level_refs_[0] == 0 && level_refs_[1] == 0 && level_refs_[2] == 0) {
+      // Everything pending is in the overflow heap: jump the wheel straight
+      // to the earliest overflow event instead of stepping empty slots.
+      while (!overflow_.empty() && !IsLive(overflow_.top().ref)) {
+        overflow_.pop();
+      }
+      FUSE_CHECK(!overflow_.empty()) << "live_count_ out of sync with storage";
+      cursor_ = std::max(cursor_, SlotOf(overflow_.top().when, 0));
+      RefillFromOverflow();
+      continue;
+    }
+    // Step the window forward, then drain the slot it just passed: its
+    // events now satisfy slot0 < cursor_, so Place routes them into the due
+    // heap. Cascades run when the cursor *enters* a higher-level slot, i.e.
+    // when the lower bits wrap to zero; cascaded events have slot0 >=
+    // cursor_, so Place routes them into lower wheel levels instead.
+    if (level_refs_[0] == 0) {
+      // Level 0 is empty, so every level-0 slot up to the next level-1
+      // boundary is empty too (higher-level events always live past the
+      // boundary that will cascade them): jump there in one step instead of
+      // walking empty slots.
+      cursor_ = (cursor_ | kSlotMask) + 1;
+    } else {
+      const uint64_t due_slot = cursor_;
+      ++cursor_;
+      DrainSlot(0, due_slot);
+    }
+    if ((cursor_ & kSlotMask) == 0) {
+      DrainSlot(1, cursor_ >> kSlotBits);
+      if (((cursor_ >> kSlotBits) & kSlotMask) == 0) {
+        DrainSlot(2, cursor_ >> (2 * kSlotBits));
+        RefillFromOverflow();
+      }
+    }
+    while (!due_.empty() && !IsLive(due_.top().ref)) {
+      due_.pop();
+    }
+  }
+  return true;
+}
+
 TimerId EventQueue::ScheduleAt(TimePoint t, EventFn fn) {
   if (t < now_) {
     t = now_;
   }
-  const uint64_t seq = next_seq_++;
-  heap_.push(Entry{t, seq, std::move(fn)});
+  FUSE_CHECK(fn != nullptr) << "scheduling a null event";
+  const uint32_t index = AllocEvent(t, std::move(fn));
+  const uint32_t generation = pool_[index].generation;
+  Place(Ref{index, generation});
   ++live_count_;
-  return TimerId(seq);
+  // Pack (generation, index) into the id; see Cancel.
+  return TimerId((uint64_t{generation} << 32) | index);
 }
 
 TimerId EventQueue::ScheduleAfter(Duration d, EventFn fn) {
@@ -27,48 +175,45 @@ bool EventQueue::Cancel(TimerId id) {
   if (!id.valid()) {
     return false;
   }
-  // We cannot know cheaply whether the id is still pending; track it in the
-  // cancelled set and reconcile at pop time. Guard against double-cancel by
-  // checking membership first.
-  if (cancelled_.contains(id.value)) {
-    return false;
+  const uint32_t index = static_cast<uint32_t>(id.value & 0xffffffffULL);
+  const uint32_t generation = static_cast<uint32_t>(id.value >> 32);
+  if (index >= pool_.size() || pool_[index].generation != generation) {
+    return false;  // already ran, already cancelled, or never issued
   }
-  // Ids from the future (never issued) are rejected.
-  if (id.value >= next_seq_) {
-    return false;
+  Event& e = pool_[index];
+  if (e.where == Event::Where::kWheel) {
+    // Slot-indexed handle: swap-remove the reference from its slot vector.
+    std::vector<Ref>& bucket = levels_[e.level][e.slot];
+    FUSE_CHECK(e.pos < bucket.size() && bucket[e.pos].index == index) << "corrupt timer handle";
+    bucket[e.pos] = bucket.back();
+    pool_[bucket[e.pos].index].pos = e.pos;
+    bucket.pop_back();
+    level_refs_[e.level]--;
   }
-  cancelled_.insert(id.value);
-  if (live_count_ > 0) {
-    --live_count_;
-  }
+  // kDue / kOverflow refs are skipped lazily via the generation bump.
+  ReleaseEvent(index);
+  FUSE_CHECK(live_count_ > 0) << "cancel with no live events";
+  --live_count_;
   return true;
 }
 
-void EventQueue::SkimCancelled() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
 void EventQueue::PopAndRun() {
-  // Move the entry out before popping so the callback may schedule/cancel.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  const DueEntry top = due_.top();
+  due_.pop();
+  Event& e = pool_[top.ref.index];
   FUSE_CHECK(e.when >= now_) << "event queue time went backwards";
   now_ = e.when;
+  // Move the closure out and release the entry *before* running, so the
+  // callback may freely schedule and cancel (and reuse this pool entry).
+  EventFn fn = std::move(e.fn);
+  ReleaseEvent(top.ref.index);
   --live_count_;
   ++executed_;
-  e.fn();
+  fn();
 }
 
 bool EventQueue::RunOne() {
-  SkimCancelled();
-  if (heap_.empty()) {
+  if (!FillDue()) {
     return false;
   }
   PopAndRun();
@@ -76,16 +221,18 @@ bool EventQueue::RunOne() {
 }
 
 void EventQueue::RunUntil(TimePoint t) {
-  while (true) {
-    SkimCancelled();
-    if (heap_.empty() || heap_.top().when > t) {
-      break;
-    }
+  while (FillDue() && due_.top().when <= t) {
     PopAndRun();
   }
   if (now_ < t) {
     now_ = t;
   }
+  // Keep the wheel cursor in step with the clock across empty stretches, so
+  // the next schedule after a long quiet RunUntil lands in a near slot
+  // instead of making FillDue walk the gap slot by slot. Safe because every
+  // remaining pending event is later than t (the loop above drained all
+  // earlier ones into execution).
+  cursor_ = std::max(cursor_, SlotOf(now_, 0));
 }
 
 void EventQueue::RunFor(Duration d) { RunUntil(now_ + d); }

@@ -1,18 +1,39 @@
-// Deterministic discrete-event queue.
+// Deterministic discrete-event queue on a hierarchical timer wheel.
 //
-// Events fire in (time, insertion-sequence) order, so two events scheduled
-// for the same instant run in the order they were scheduled — this makes the
-// whole simulation a deterministic function of its seed. Cancellation is lazy
-// (cancelled entries are skipped on pop), which keeps Schedule/Cancel O(log n).
+// Determinism contract (unchanged from the original binary-heap core): events
+// fire in (time, insertion-sequence) order, so two events scheduled for the
+// same instant run in the order they were scheduled — this makes the whole
+// simulation a deterministic function of its seed.
+//
+// Structure. Three wheel levels of 256 slots each, with slot granularities of
+// 2^10, 2^18 and 2^26 microseconds (~1 ms, ~0.26 s, ~67 s), cover roughly the
+// next 4.7 hours of virtual time; anything further lands in a heap-backed
+// overflow level and is pulled into the wheels as the clock approaches it.
+// The paper's workload (per-neighbor pings every 60 s, 20 s timeouts,
+// millisecond RTTs) lives entirely in levels 0-1, where Schedule is O(1):
+// append to a slot vector. As the wheel turns, a due slot is drained into a
+// small "due" heap ordered by (time, seq); only that heap — which holds at
+// most one level-0 slot window (~1 ms) of events plus same-window inserts —
+// pays O(log k) ordering cost, with k tiny compared to the total pending
+// count. This is what lets SimCluster scale to 10k+ nodes: the steady-state
+// ping load schedules and fires millions of timers without a global heap.
+//
+// Cancellation is O(1) and fully reclaims the event: a TimerId encodes
+// (pool index, generation); each pool entry tracks which wheel slot (and
+// position) references it, so Cancel swap-removes the reference and frees the
+// entry — closure included — immediately. There is no tombstone set;
+// cancelling an already-fired or never-issued id is detected by a generation
+// mismatch and changes no accounting. Only entries in the two small heaps
+// (due window, far-future overflow) are lazily skipped, and their storage is
+// still reclaimed at cancel time.
 #ifndef FUSE_SIM_EVENT_QUEUE_H_
 #define FUSE_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/function.h"
 #include "common/ids.h"
 #include "common/time.h"
 
@@ -20,7 +41,11 @@ namespace fuse {
 
 class EventQueue {
  public:
-  using EventFn = std::function<void()>;
+  // Move-only with a guaranteed small-buffer optimization: pooled entries
+  // re-accept typical closures without heap traffic (see common/function.h).
+  using EventFn = UniqueFunction;
+
+  EventQueue();
 
   TimePoint Now() const { return now_; }
 
@@ -30,7 +55,9 @@ class EventQueue {
   // Schedules `fn` after `d` (clamped to zero if negative).
   TimerId ScheduleAfter(Duration d, EventFn fn);
 
-  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  // Cancels a pending event in O(1), releasing its closure immediately.
+  // Returns false if it already ran, was already cancelled, or was never
+  // issued; in those cases no accounting changes.
   bool Cancel(TimerId id);
 
   // Runs the single earliest event. Returns false if the queue is empty.
@@ -51,28 +78,103 @@ class EventQueue {
   uint64_t ExecutedCount() const { return executed_; }
 
  private:
-  struct Entry {
+  // Wheel geometry. kSlotBits slots per level; level L slots span
+  // 2^(kShift0 + L*kSlotBits) microseconds.
+  static constexpr int kShift0 = 10;    // level-0 slot = 1024 us
+  static constexpr int kSlotBits = 8;   // 256 slots per level
+  static constexpr int kLevels = 3;
+  static constexpr uint64_t kSlots = uint64_t{1} << kSlotBits;
+  static constexpr uint64_t kSlotMask = kSlots - 1;
+
+  // One pooled event. Entries are recycled through a free list; `generation`
+  // is bumped on every release so stale references (in the heaps, or
+  // user-held TimerIds) can be detected.
+  struct Event {
     TimePoint when;
-    uint64_t seq;
+    uint64_t seq = 0;       // global insertion sequence: the FIFO tiebreak
+    uint32_t generation = 1;
+    // Where this entry's reference currently lives. Wheel positions are
+    // maintained on every move so Cancel can swap-remove in O(1); references
+    // in the due/overflow heaps are skipped lazily via the generation.
+    enum class Where : uint8_t { kFree, kWheel, kDue, kOverflow };
+    Where where = Where::kFree;
+    uint8_t level = 0;   // wheel level (when where == kWheel)
+    uint32_t slot = 0;   // masked slot index within the level
+    uint32_t pos = 0;    // index within the slot vector
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+
+  // Reference to a pool entry at a specific generation.
+  struct Ref {
+    uint32_t index;
+    uint32_t generation;
+  };
+
+  struct DueEntry {
+    TimePoint when;
+    uint64_t seq;
+    Ref ref;
+  };
+  struct DueLater {
+    bool operator()(const DueEntry& a, const DueEntry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
       return a.seq > b.seq;
     }
   };
+  struct OverflowEntry {
+    TimePoint when;
+    Ref ref;
+  };
+  struct OverflowLater {
+    bool operator()(const OverflowEntry& a, const OverflowEntry& b) const {
+      return a.when > b.when;
+    }
+  };
 
-  // Pops and runs the top entry; assumes the queue is non-empty after
-  // cancelled-entry skipping was already performed by the caller.
+  static constexpr uint64_t SlotOf(TimePoint t, int level) {
+    return static_cast<uint64_t>(t.ToMicros()) >> (kShift0 + level * kSlotBits);
+  }
+
+  bool IsLive(Ref r) const { return pool_[r.index].generation == r.generation; }
+
+  uint32_t AllocEvent(TimePoint when, EventFn fn);
+  void ReleaseEvent(uint32_t index);
+  // Places a live pool entry into the wheel level that covers it (or the due
+  // heap, if its level-0 slot has already been drained).
+  void Place(Ref r);
+  // Moves every live entry of `levels_[level][slot]` one level down (or into
+  // the due heap for level 0).
+  void DrainSlot(int level, uint64_t slot);
+  // Pulls overflow-heap entries now covered by the wheels.
+  void RefillFromOverflow();
+  // Advances the wheel cursor until the due heap holds the earliest pending
+  // event, or returns false when nothing is pending anywhere.
+  bool FillDue();
+  // Pops and runs the due heap's top entry.
   void PopAndRun();
-  // Drops cancelled entries from the top of the heap.
-  void SkimCancelled();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<uint64_t> cancelled_;
+  // Event pool + free list.
+  std::vector<Event> pool_;
+  std::vector<uint32_t> free_list_;
+
+  // levels_[L][s] holds refs whose absolute level-L slot number, modulo the
+  // rotation, is s. A slot only ever holds refs for one absolute slot number
+  // at a time (enforced by Place's level selection against cursor_). All
+  // wheel refs are live: Cancel removes its ref eagerly, so level_refs_ is an
+  // exact count of pending events stored in the wheels.
+  std::vector<Ref> levels_[kLevels][kSlots];
+  size_t level_refs_[kLevels] = {0, 0, 0};
+
+  // Absolute level-0 slot number of the next slot to drain. Invariant: every
+  // pending wheel/overflow event has SlotOf(when, 0) >= cursor_, and every
+  // due-heap event has SlotOf(when, 0) < cursor_.
+  uint64_t cursor_ = 0;
+
+  std::priority_queue<DueEntry, std::vector<DueEntry>, DueLater> due_;
+  std::priority_queue<OverflowEntry, std::vector<OverflowEntry>, OverflowLater> overflow_;
+
   TimePoint now_ = TimePoint::Zero();
   uint64_t next_seq_ = 1;
   size_t live_count_ = 0;

@@ -19,7 +19,7 @@ class Simulation : public Environment {
 
   // Environment implementation.
   TimePoint Now() const override { return queue_.Now(); }
-  TimerId Schedule(Duration d, std::function<void()> fn) override {
+  TimerId Schedule(Duration d, UniqueFunction fn) override {
     return queue_.ScheduleAfter(d, std::move(fn));
   }
   bool Cancel(TimerId id) override { return queue_.Cancel(id); }

@@ -186,7 +186,7 @@ void SvTreeNode::SendSubscribe(const std::string& topic) {
     transport_->env().Cancel(state.subscribe_timer);
   }
   state.subscribe_timer =
-      transport_->env().Schedule(config_.subscribe_timeout, [this, topic] {
+      transport_->env().Schedule(config_.subscribe_timeout, [this, topic = topic] {
         auto sit = topics_.find(topic);
         if (sit != topics_.end()) {
           sit->second.subscribe_timer = TimerId();
@@ -328,7 +328,7 @@ void SvTreeNode::ScheduleResubscribe(const std::string& topic) {
   }
   const Duration jitter =
       Duration::Micros(transport_->env().rng().UniformInt(0, 1000000));
-  transport_->env().Schedule(config_.resubscribe_delay + jitter, [this, topic] {
+  transport_->env().Schedule(config_.resubscribe_delay + jitter, [this, topic = topic] {
     auto it = topics_.find(topic);
     if (it != topics_.end() && !it->second.uplink_live && !it->second.is_root) {
       SendSubscribe(topic);

@@ -52,16 +52,22 @@ void SimFabric::CrashHost(HostId host) {
   hs.handlers.clear();
   hs.send_busy_until = TimePoint::Zero();
   net_.faults().SetHostDown(host, true);
-  // Break every connection touching this host. Peers' pending callbacks get
-  // kBroken; in-flight attempts notice via the epoch bump.
-  for (auto& [key, conn] : connections_) {
+  // Break every connection touching this host. Peers' outstanding callbacks
+  // get kBroken. Collect the keys first: the callbacks BreakConnection fires
+  // may send messages, which can insert new connections and rehash the map
+  // mid-iteration.
+  std::vector<uint64_t> affected;
+  for (const auto& [key, conn] : connections_) {
     const HostId lo(key >> 32);
     const HostId hi(key & 0xffffffffULL);
-    if (lo == host || hi == host) {
-      if (conn.state != Connection::State::kClosed || !conn.pending.empty()) {
-        BreakConnection(&conn);
-      }
+    if ((lo == host || hi == host) &&
+        (conn.state != Connection::State::kClosed || !conn.pending.empty() ||
+         !conn.inflight.empty())) {
+      affected.push_back(key);
     }
+  }
+  for (const uint64_t key : affected) {
+    BreakConnection(&connections_[key]);
   }
 }
 
@@ -180,6 +186,8 @@ void SimFabric::StartDataSend(HostId from, Connection* conn, WireMessage msg,
   st->slot->msg = std::move(msg);
   st->slot->dest_incarnation = StateOf(to).incarnation;
   st->msg = st->slot->msg;  // retransmission bookkeeping keeps its own copy
+  st->inflight_pos = conn->inflight.size();
+  conn->inflight.push_back(st);
   // Enqueue for in-order delivery on this direction.
   const int dir = from < to ? 0 : 1;
   conn->delivery_queue[dir].push_back(st->slot);
@@ -194,14 +202,30 @@ void SimFabric::StartDataSend(HostId from, Connection* conn, WireMessage msg,
   env_.Schedule(depart - env_.Now(), [this, from, st] { AttemptData(from, st); });
 }
 
+void SimFabric::RemoveInflight(Connection& conn, DataSendState* st) {
+  const size_t pos = st->inflight_pos;
+  if (pos >= conn.inflight.size() || conn.inflight[pos].get() != st) {
+    return;  // already detached (e.g. by BreakConnection)
+  }
+  conn.inflight[pos] = std::move(conn.inflight.back());
+  conn.inflight[pos]->inflight_pos = pos;
+  conn.inflight.pop_back();
+}
+
 void SimFabric::AttemptData(HostId from, std::shared_ptr<DataSendState> st) {
   const HostId to = st->msg.to;
   Connection& conn = ConnOf(from, to);
   if (conn.epoch != st->conn_epoch) {
+    // The connection broke while this send's departure event was in flight.
+    // BreakConnection drained the inflight list and already failed st->cb,
+    // so this invocation is a no-op safety net (InvokeCallback ignores a
+    // null callback) in case a future path ever bumps the epoch without
+    // draining.
     InvokeCallback(std::move(st->cb), Status::Broken("connection reset"));
     return;
   }
   if (st->attempt >= tcp_.max_data_attempts) {
+    RemoveInflight(conn, st.get());
     BreakConnection(&conn);
     InvokeCallback(std::move(st->cb), Status::Broken("retransmission limit"));
     return;
@@ -221,6 +245,7 @@ void SimFabric::AttemptData(HostId from, std::shared_ptr<DataSendState> st) {
     FlushDeliveries(&conn, from < to ? 0 : 1);
   }
   if (data_ok && ack_ok) {
+    RemoveInflight(conn, st.get());
     const Duration rtt = Rtt(from, to);
     auto cb = std::move(st->cb);
     env_.Schedule(rtt, [this, cb = std::move(cb)]() mutable {
@@ -228,10 +253,18 @@ void SimFabric::AttemptData(HostId from, std::shared_ptr<DataSendState> st) {
     });
     return;
   }
-  // Retransmit with exponential backoff.
+  // Retransmit with exponential backoff. The weak capture breaks the
+  // st -> retry -> callback -> st cycle; the state is kept alive by the
+  // connection's inflight list, and the timer auto-cancels if the state is
+  // dropped first.
   const Duration base_rto = std::max(tcp_.min_rto, Rtt(from, to) * int64_t{2});
   const Duration backoff = base_rto * (int64_t{1} << (st->attempt - 1));
-  env_.Schedule(backoff, [this, from, st] { AttemptData(from, st); });
+  st->retry.Bind(env_);
+  st->retry.Start(backoff, [this, from, weak = std::weak_ptr<DataSendState>(st)] {
+    if (auto s = weak.lock()) {
+      AttemptData(from, std::move(s));
+    }
+  });
 }
 
 void SimFabric::FlushDeliveries(Connection* conn, int dir) {
@@ -261,8 +294,18 @@ void SimFabric::BreakConnection(Connection* conn) {
   conn->delivery_queue[1].clear();
   auto pending = std::move(conn->pending);
   conn->pending.clear();
+  auto inflight = std::move(conn->inflight);
+  conn->inflight.clear();
+  for (auto& st : inflight) {
+    st->retry.Cancel();  // reclaim the backoff event immediately
+  }
+  // Invoke callbacks last, from locals only: they may send messages, which
+  // can rehash connections_ and invalidate `conn`.
   for (auto& p : pending) {
     InvokeCallback(std::move(p.cb), Status::Broken("connection broke"));
+  }
+  for (auto& st : inflight) {
+    InvokeCallback(std::move(st->cb), Status::Broken("connection broke"));
   }
 }
 

@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "net/network.h"
 #include "sim/environment.h"
+#include "sim/timer.h"
 #include "transport/cost_model.h"
 #include "transport/transport.h"
 
@@ -96,11 +97,17 @@ class SimFabric {
     TimePoint ready_time;     // earliest possible delivery once ready
   };
 
+  struct DataSendState;
+
   struct Connection {
     enum class State { kClosed, kConnecting, kOpen };
     State state = State::kClosed;
     uint64_t epoch = 0;  // bumped on break; stale attempts abandon themselves
     std::vector<PendingSend> pending;
+    // Sends with retransmission state outstanding on this connection.
+    // Breaking the connection cancels their retry timers and fails their
+    // callbacks immediately instead of leaving dead backoff events queued.
+    std::vector<std::shared_ptr<DataSendState>> inflight;
     // In-order delivery machinery per direction (0: lo->hi host id, 1: other).
     std::deque<std::shared_ptr<DeliverySlot>> delivery_queue[2];
     TimePoint delivery_watermark[2];
@@ -120,6 +127,8 @@ class SimFabric {
     uint64_t conn_epoch;
     std::shared_ptr<DeliverySlot> slot;
     int attempt = 0;
+    Timer retry;             // exponential-backoff retransmission timer
+    size_t inflight_pos = 0; // index in the owning connection's inflight list
   };
 
   // Host ids are small sequential values (< 2^32), so the packed key is
@@ -137,6 +146,7 @@ class SimFabric {
   void FlushPending(HostId a, HostId b, Connection* conn);
   void StartDataSend(HostId from, Connection* conn, WireMessage msg, Transport::SendCallback cb);
   void AttemptData(HostId from, std::shared_ptr<DataSendState> st);
+  static void RemoveInflight(Connection& conn, DataSendState* st);
   void FlushDeliveries(Connection* conn, int dir);
   void BreakConnection(Connection* conn);
   void Deliver(HostId to, uint64_t incarnation, WireMessage msg);

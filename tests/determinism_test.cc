@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "runtime/sim_cluster.h"
+#include "sim/event_queue.h"
 
 namespace fuse {
 namespace {
@@ -109,6 +110,49 @@ TEST(DeterminismTest, DifferentSeedDifferentTrace) {
   const std::string a = RunScenario(1);
   const std::string b = RunScenario(2);
   EXPECT_NE(a, b) << "seed is not actually feeding the simulation";
+}
+
+// Golden trace for the event core's ordering contract: events fire in
+// (time, insertion-sequence) order, including among equal-time events that
+// land in different wheel levels (and the overflow heap), survive
+// cancellation of a neighbor, or are inserted into the currently-executing
+// instant from a running callback. The expected string is written out by
+// hand from the contract — if the core ever reorders equal-time events, this
+// fails with a readable diff.
+TEST(DeterminismTest, GoldenSameTimestampOrderingTrace) {
+  EventQueue q;
+  std::string trace;
+  auto rec = [&trace, &q](const char* tag) {
+    char line[48];
+    std::snprintf(line, sizeof(line), "%s@%lld ", tag, static_cast<long long>(q.Now().ToMicros()));
+    trace += line;
+  };
+
+  const TimePoint t_near = TimePoint::FromMicros(500);                        // level 0
+  const TimePoint t_mid = TimePoint::FromMicros(70 * 1000000);                // level 2
+  const TimePoint t_far = TimePoint::FromMicros(int64_t{5} * 3600 * 1000000); // overflow
+
+  // Interleave insertions across the three horizons so that equal-time FIFO
+  // order cannot fall out of per-level storage order by accident.
+  q.ScheduleAt(t_near, [&] {
+    rec("A");
+    // Insert into the instant that is currently executing: same timestamp,
+    // later sequence => must run after every pending t_near event.
+    q.ScheduleAt(t_near, [&] { rec("H"); });
+  });
+  q.ScheduleAt(t_mid, [&] { rec("B"); });
+  q.ScheduleAt(t_near, [&] { rec("C"); });
+  q.ScheduleAt(t_far, [&] { rec("D"); });
+  q.ScheduleAt(t_mid, [&] { rec("E"); });
+  const TimerId cancelled = q.ScheduleAt(t_near, [&] { rec("X"); });
+  q.ScheduleAt(t_far, [&] { rec("G"); });
+  EXPECT_TRUE(q.Cancel(cancelled));
+
+  q.RunAll();
+  EXPECT_EQ(trace,
+            "A@500 C@500 H@500 "
+            "B@70000000 E@70000000 "
+            "D@18000000000 G@18000000000 ");
 }
 
 }  // namespace

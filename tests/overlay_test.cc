@@ -6,9 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "overlay/ping_manager.h"
 #include "overlay/routing_table.h"
 #include "overlay/skipnet_id.h"
 #include "runtime/sim_cluster.h"
+#include "transport/tcp_model.h"
 
 namespace fuse {
 namespace {
@@ -225,6 +227,43 @@ TEST(OverlayClusterTest, RoutingIsLogarithmic) {
   // routing should stay well under the node count.
   EXPECT_LE(max_hops, 24);
   EXPECT_GT(max_hops, 0);
+}
+
+TEST(PingManagerTest, SlowRepliesWithTimeoutLongerThanPeriod) {
+  // With timeout >= period several pings can be outstanding at once. A live
+  // peer whose replies take longer than one period (but less than the
+  // timeout) must not be declared failed — each reply disarms the failure
+  // timeout even though it answers an older ping than the latest one sent.
+  // A crashed peer must still time out.
+  Simulation sim(11);
+  TopologyConfig tcfg;
+  tcfg.num_as = 20;
+  tcfg.t3_fraction = 1.0;  // every AS link 300-500 ms: replies beat no period
+  SimNetwork net(Topology::Generate(tcfg, sim.rng()));
+  const HostId a = net.AddHost(sim.rng());
+  HostId b = net.AddHost(sim.rng());
+  for (int i = 0; i < 64 && net.GetPath(a, b).latency < Duration::Millis(300); ++i) {
+    b = net.AddHost(sim.rng());
+  }
+  ASSERT_GE(net.GetPath(a, b).latency, Duration::Millis(300));
+  SimFabric fabric(sim, net, CostModel::Simulator());
+
+  const Duration period = Duration::Millis(200);
+  const Duration timeout = Duration::Seconds(3);
+  PingManager pinger(fabric.TransportFor(a), period, timeout);
+  // The peer side only needs the reply handler its PingManager registers.
+  PingManager replier(fabric.TransportFor(b), period, timeout);
+  HostId failed_peer;
+  pinger.SetFailureHandler([&](HostId h) { failed_peer = h; });
+  pinger.UpdateNeighbors({b});
+  pinger.Start();
+
+  sim.RunFor(Duration::Seconds(30));
+  EXPECT_FALSE(failed_peer.valid()) << "responsive peer with RTT > period declared failed";
+
+  fabric.CrashHost(b);
+  sim.RunFor(timeout + Duration::Seconds(2));
+  EXPECT_EQ(failed_peer, b) << "crashed peer not detected within the timeout";
 }
 
 TEST(OverlayClusterTest, PingFailureDetectionRemovesCrashedNeighbor) {

@@ -5,6 +5,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
+#include "sim/timer.h"
 
 namespace fuse {
 namespace {
@@ -98,6 +99,201 @@ TEST(EventQueueTest, RunUntilAdvancesClockWithoutEvents) {
   EventQueue q;
   q.RunUntil(TimePoint::FromMicros(123456));
   EXPECT_EQ(q.Now().ToMicros(), 123456);
+}
+
+TEST(EventQueueTest, CancelAfterFireDoesNotCorruptCounts) {
+  // Regression: the old lazy-cancel core decremented live_count_ when
+  // cancelling an id whose event had already executed — corrupting Empty()
+  // and PendingCount() — and left a tombstone in the cancelled set forever.
+  EventQueue q;
+  bool fired = false;
+  const TimerId early = q.ScheduleAfter(Duration::Millis(1), [&] { fired = true; });
+  q.ScheduleAfter(Duration::Millis(10), [] {});
+  EXPECT_EQ(q.RunAll(1), 1u);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_FALSE(q.Cancel(early));     // already ran: must be rejected...
+  EXPECT_EQ(q.PendingCount(), 1u);   // ...without touching the live count
+  EXPECT_FALSE(q.Empty());
+  EXPECT_FALSE(q.Cancel(early));     // idempotently
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelRecycledEntry) {
+  // After an event fires (or is cancelled) its pool entry is recycled; the
+  // old TimerId must not be able to cancel the entry's next occupant.
+  EventQueue q;
+  const TimerId old_id = q.ScheduleAfter(Duration::Millis(1), [] {});
+  q.RunAll();
+  bool fired = false;
+  q.ScheduleAfter(Duration::Millis(1), [&] { fired = true; });  // reuses the pool slot
+  EXPECT_FALSE(q.Cancel(old_id));
+  q.RunAll();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, FarFutureEventsFireInOrder) {
+  // Spans every wheel level plus the overflow heap: ~1 ms (level 0), ~70 s
+  // (beyond level 1), ~2 h (level 2), ~3 days (overflow).
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(TimePoint::FromMicros(int64_t{3} * 24 * 3600 * 1000000), [&] { order.push_back(4); });
+  q.ScheduleAt(TimePoint::FromMicros(int64_t{2} * 3600 * 1000000), [&] { order.push_back(3); });
+  q.ScheduleAt(TimePoint::FromMicros(70 * 1000000), [&] { order.push_back(2); });
+  q.ScheduleAt(TimePoint::FromMicros(1000), [&] { order.push_back(1); });
+  EXPECT_EQ(q.RunAll(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.Now().ToMicros(), int64_t{3} * 24 * 3600 * 1000000);
+}
+
+TEST(EventQueueTest, CancelFarFutureEmptiesQueue) {
+  EventQueue q;
+  const TimerId near = q.ScheduleAfter(Duration::Millis(1), [] {});
+  const TimerId mid = q.ScheduleAfter(Duration::Minutes(10), [] {});
+  const TimerId far = q.ScheduleAfter(Duration::Minutes(int64_t{3} * 24 * 60), [] {});
+  EXPECT_EQ(q.PendingCount(), 3u);
+  EXPECT_TRUE(q.Cancel(mid));
+  EXPECT_TRUE(q.Cancel(far));
+  EXPECT_TRUE(q.Cancel(near));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.RunAll(), 0u);
+}
+
+TEST(EventQueueTest, CancelFromWithinCallback) {
+  EventQueue q;
+  bool second_fired = false;
+  TimerId second;
+  q.ScheduleAfter(Duration::Millis(1), [&] { EXPECT_TRUE(q.Cancel(second)); });
+  second = q.ScheduleAfter(Duration::Millis(2), [&] { second_fired = true; });
+  q.RunAll();
+  EXPECT_FALSE(second_fired);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, SameTimeOrderSurvivesLevelPromotion) {
+  // Two events at the same far-future instant, scheduled in a known order,
+  // must still fire in that order after cascading down through the wheel
+  // levels to level 0.
+  EventQueue q;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::FromMicros(90 * 1000000);
+  q.ScheduleAt(t, [&] { order.push_back(1); });
+  q.ScheduleAt(t, [&] { order.push_back(2); });
+  q.ScheduleAt(t, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerTest, FiresOnceAndAutoCancelsOnDestruction) {
+  Simulation sim(1);
+  int fires = 0;
+  {
+    Timer t(sim);
+    t.Start(Duration::Millis(5), [&] { ++fires; });
+    EXPECT_TRUE(t.pending());
+    sim.RunFor(Duration::Millis(10));
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(t.pending());
+    t.Restart(Duration::Millis(5));  // rearm with the stored callback
+    EXPECT_TRUE(t.pending());
+  }  // destroyed while armed: must not fire
+  sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TimerTest, RestartPushesDeadlineOut) {
+  Simulation sim(1);
+  int fires = 0;
+  Timer t(sim);
+  t.Start(Duration::Millis(10), [&] { ++fires; });
+  sim.RunFor(Duration::Millis(8));
+  t.Restart(Duration::Millis(10));  // the old deadline must not fire
+  sim.RunFor(Duration::Millis(8));
+  EXPECT_EQ(fires, 0);
+  sim.RunFor(Duration::Millis(5));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TimerTest, CancelPreventsFire) {
+  Simulation sim(1);
+  int fires = 0;
+  Timer t(sim);
+  t.Start(Duration::Millis(1), [&] { ++fires; });
+  EXPECT_TRUE(t.Cancel());
+  EXPECT_FALSE(t.Cancel());  // already disarmed
+  sim.RunFor(Duration::Millis(10));
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(TimerTest, MoveKeepsArmedTimerWorking) {
+  Simulation sim(1);
+  int fires = 0;
+  std::vector<Timer> timers;
+  timers.emplace_back(sim);
+  timers.back().Start(Duration::Millis(5), [&] { ++fires; });
+  // Force relocation of the armed handle (as containers do).
+  for (int i = 0; i < 16; ++i) {
+    timers.emplace_back(sim);
+  }
+  sim.RunFor(Duration::Millis(10));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(TimerTest, SelfRearmViaStart) {
+  Simulation sim(1);
+  int fires = 0;
+  Timer t(sim);
+  std::function<void()> tick = [&] {
+    if (++fires < 3) {
+      t.Start(Duration::Millis(1), tick);
+    }
+  };
+  t.Start(Duration::Millis(1), tick);
+  sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimerTest, FiresEveryPeriodFromPhase) {
+  Simulation sim(1);
+  std::vector<int64_t> fire_times;
+  PeriodicTimer t(sim);
+  t.Start(Duration::Millis(3), Duration::Millis(10),
+          [&] { fire_times.push_back(sim.Now().ToMicros()); });
+  EXPECT_TRUE(t.running());
+  sim.RunFor(Duration::Millis(35));
+  EXPECT_EQ(fire_times, (std::vector<int64_t>{3000, 13000, 23000, 33000}));
+  t.Stop();
+  EXPECT_FALSE(t.running());
+  sim.RunFor(Duration::Millis(50));
+  EXPECT_EQ(fire_times.size(), 4u);
+}
+
+TEST(PeriodicTimerTest, StopInsideCallbackEndsCycle) {
+  Simulation sim(1);
+  int fires = 0;
+  PeriodicTimer t(sim);
+  t.Start(Duration::Millis(1), [&] {
+    if (++fires == 2) {
+      t.Stop();
+    }
+  });
+  sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimerTest, DestructionStopsCycle) {
+  Simulation sim(1);
+  int fires = 0;
+  {
+    PeriodicTimer t(sim);
+    t.Start(Duration::Millis(1), [&] { ++fires; });
+    sim.RunFor(Duration::MillisF(2.5));
+    EXPECT_EQ(fires, 2);
+  }
+  sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(fires, 2);
 }
 
 TEST(SimulationTest, DeterministicAcrossRuns) {
