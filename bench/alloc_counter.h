@@ -1,0 +1,43 @@
+// Binary-wide counting allocator hook: replaces global operator new/delete
+// so a test or benchmark can assert (or report) how many heap allocations a
+// code path performs.
+//
+// IMPORTANT: this header DEFINES the replacement operators. Include it from
+// exactly ONE translation unit of a binary (including it twice in the same
+// binary violates the one-definition rule at link time).
+#ifndef FUSE_BENCH_ALLOC_COUNTER_H_
+#define FUSE_BENCH_ALLOC_COUNTER_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace fuse {
+namespace alloc_counter {
+
+inline std::atomic<uint64_t> count{0};
+
+inline uint64_t Read() { return count.load(std::memory_order_relaxed); }
+
+}  // namespace alloc_counter
+}  // namespace fuse
+
+// GCC flags free() inside a replaced operator delete as mismatched; the
+// replacement pair below routes every new through malloc, so it is matched.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  fuse::alloc_counter::count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+#endif  // FUSE_BENCH_ALLOC_COUNTER_H_

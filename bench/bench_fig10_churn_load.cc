@@ -7,6 +7,8 @@
 // with no churn, 400 FUSE groups of 10 add *no* messages over the overlay
 // baseline (337 vs 338 msg/s) — liveness is piggybacked.
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -21,9 +23,16 @@ double MeasureRate(fuse::SimCluster& cluster, fuse::Duration window) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fuse;
   using namespace fuse::bench;
+  // --json <path>: also emit machine-readable results (CI perf baseline).
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   Header("Figure 10 / section 7.5: steady-state load and overlay churn",
          "paper section 7.5, Figure 10");
   const Duration kWindow = Duration::Minutes(10);
@@ -114,5 +123,25 @@ int main() {
               100.0 * (churn_rate - stable300) / stable300);
   std::printf("  FUSE-under-churn premium         : %+.0f%% (paper: +94%%)\n",
               100.0 * (churn_fuse_rate - churn_rate) / churn_rate);
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"fig10_churn_load\", \"nodes\": 400,\n"
+                   "  \"avg_neighbors\": %.2f,\n"
+                   "  \"overlay_only_msgs_per_s\": %.2f, \"with_groups_msgs_per_s\": %.2f,\n"
+                   "  \"stable300_msgs_per_s\": %.2f, \"churn_msgs_per_s\": %.2f,\n"
+                   "  \"churn_fuse_msgs_per_s\": %.2f,\n"
+                   "  \"churn_premium_pct\": %.1f, \"fuse_under_churn_premium_pct\": %.1f\n"
+                   "}\n",
+                   avg_neighbors, no_groups_rate, with_groups_rate, stable300, churn_rate,
+                   churn_fuse_rate, 100.0 * (churn_rate - stable300) / stable300,
+                   100.0 * (churn_fuse_rate - churn_rate) / churn_rate);
+      std::fclose(f);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

@@ -1,16 +1,65 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the substrate:
-// SHA-1 piggyback hashing, event-queue throughput, greedy next-hop selection,
-// topology path queries, and the deterministic RNG.
+// fabric send→deliver round trips (with allocations/op), SHA-1 piggyback
+// hashing, event-queue throughput, greedy next-hop selection, topology path
+// queries, and the deterministic RNG.
 #include <benchmark/benchmark.h>
 
+#include "bench/alloc_counter.h"
 #include "common/rng.h"
 #include "common/sha1.h"
+#include "net/network.h"
 #include "net/topology.h"
 #include "overlay/routing_table.h"
 #include "sim/event_queue.h"
+#include "sim/simulation.h"
+#include "transport/tcp_model.h"
 
 namespace fuse {
 namespace {
+
+// One data-message round trip through SimFabric on a warm connection: send,
+// departure, delivery, ack callback. Reports allocations per operation — the
+// fast path (pooled send state, PayloadBuf payloads, dense tables) must stay
+// at 0 once warm.
+void BM_FabricSendDeliver(benchmark::State& state) {
+  TopologyConfig tcfg;
+  tcfg.num_as = 40;
+  Simulation sim(7);
+  SimNetwork net{Topology::Generate(tcfg, sim.rng())};
+  SimFabric fabric(sim, net, CostModel::Simulator());
+  const HostId a = net.AddHost(sim.rng());
+  const HostId b = net.AddHost(sim.rng());
+  uint64_t received = 0;
+  fabric.TransportFor(b)->RegisterHandler(msgtype::kTest,
+                                          [&received](const WireMessage&) { ++received; });
+  const uint8_t payload_bytes[28] = {1, 2, 3};
+  auto round_trip = [&] {
+    WireMessage m;
+    m.to = b;
+    m.type = msgtype::kTest;
+    m.category = MsgCategory::kApp;
+    m.payload = PayloadBuf(payload_bytes, sizeof(payload_bytes));
+    bool acked = false;
+    fabric.TransportFor(a)->Send(std::move(m), [&acked](const Status&) { acked = true; });
+    sim.RunAll();
+    benchmark::DoNotOptimize(acked);
+  };
+  for (int warm = 0; warm < 64; ++warm) {
+    round_trip();  // warm the connection, pools, and scratch capacities
+  }
+  const uint64_t allocs_before = alloc_counter::Read();
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    round_trip();
+    ++iters;
+  }
+  const uint64_t allocs = alloc_counter::Read() - allocs_before;
+  state.counters["allocs/op"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(iters));
+  state.SetItemsProcessed(static_cast<int64_t>(iters));
+  benchmark::DoNotOptimize(received);
+}
+BENCHMARK(BM_FabricSendDeliver);
 
 void BM_Sha1PiggybackHash(benchmark::State& state) {
   // Typical payload: a handful of 16-byte FUSE ids.

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/payload_buf.h"
+
 namespace fuse {
 
 class Writer {
@@ -29,6 +31,11 @@ class Writer {
 
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> Take() { return std::move(buf_); }
+  // Copies the current bytes into a PayloadBuf without surrendering the
+  // buffer: a Writer kept as a member and Clear()ed between messages makes
+  // the encode step of a hot path allocation-free once its capacity is warm.
+  PayloadBuf TakeShared() const { return PayloadBuf(buf_.data(), buf_.size()); }
+  void Clear() { buf_.clear(); }
   size_t size() const { return buf_.size(); }
 
  private:
@@ -39,6 +46,7 @@ class Reader {
  public:
   Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
   explicit Reader(const std::vector<uint8_t>& v) : Reader(v.data(), v.size()) {}
+  explicit Reader(const PayloadBuf& b) : Reader(b.data(), b.size()) {}
 
   uint8_t GetU8();
   uint16_t GetU16();

@@ -128,7 +128,7 @@ void AltFuseNode::CreateGroup(std::vector<HostId> members, CreateCallback cb) {
   for (HostId m : all) {
     w.PutU64(m.value);
   }
-  const std::vector<uint8_t> payload = w.Take();
+  const PayloadBuf payload = w.Take();  // shared across the create fan-out
   std::vector<HostId> contacts(p.awaiting.begin(), p.awaiting.end());
 
   const bool immediate = p.awaiting.empty();
@@ -139,13 +139,14 @@ void AltFuseNode::CreateGroup(std::vector<HostId> members, CreateCallback cb) {
     }
     CreatePending pending = std::move(it->second);
     creating_.erase(it);
+    const PayloadBuf notify_payload = EncodeId(id);
     for (HostId m : pending.members) {
       if (m != transport_->local_host()) {
         WireMessage n;
         n.to = m;
         n.type = msgtype::kAltNotify;
         n.category = MsgCategory::kFuseHardNotification;
-        n.payload = EncodeId(id);
+        n.payload = notify_payload;
         transport_->Send(std::move(n), nullptr);
       }
     }

@@ -1,6 +1,7 @@
 #include "fuse/fuse_node.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
@@ -49,9 +50,9 @@ FuseNode::FuseNode(Transport* transport, SkipNetNode* overlay, FuseParams params
 
   overlay_->SetRoutedHandler(
       kRoutedTag, [this](SkipNetNode::RoutedUpcall& u) { return OnInstallUpcall(u); });
-  overlay_->SetPingPayloadProvider([this](HostId n) { return PingPayloadFor(n); });
+  overlay_->SetPingPayloadProvider([this](HostId n, Writer& w) { AppendPingPayload(n, w); });
   overlay_->SetPingPayloadObserver(
-      [this](HostId n, const std::vector<uint8_t>& p) { OnPingPayload(n, p); });
+      [this](HostId n, const uint8_t* data, size_t len) { OnPingPayload(n, data, len); });
   overlay_->SetNeighborFailureHandler([this](HostId n) { OnOverlayNeighborFailed(n); });
 }
 
@@ -119,7 +120,8 @@ void FuseNode::CreateGroup(std::vector<NodeRef> members, CreateCallback cb) {
   Writer w;
   WriteFuseId(w, id);
   WriteNodeRef(w, self());
-  const std::vector<uint8_t> payload = w.Take();
+  // One shared buffer for the whole fan-out.
+  const PayloadBuf payload = w.Take();
   for (const auto& m : others) {
     WireMessage msg;
     msg.to = m.host;
@@ -416,26 +418,38 @@ void FuseNode::ArmBackstop(GroupState& g) {
   g.backstop.Restart(params_.link_liveness_timeout);
 }
 
-std::vector<uint8_t> FuseNode::PingPayloadFor(HostId neighbor) {
+// Computes the 20-byte piggyback hash of the link's live FUSE-ID list, or
+// returns false when nothing is monitored on that link. No heap traffic:
+// this runs once per ping sent and received.
+bool FuseNode::LinkHashFor(HostId neighbor, Sha1Digest* out) {
   const auto it = links_by_peer_.find(neighbor);
   if (it == links_by_peer_.end() || it->second.empty()) {
-    return {};
+    return false;
   }
   Sha1 h;
   for (const FuseId& id : it->second) {
     h.UpdateU64(id.hi);
     h.UpdateU64(id.lo);
   }
-  const Sha1Digest d = h.Finish();
-  return std::vector<uint8_t>(d.begin(), d.end());
+  *out = h.Finish();
+  return true;
 }
 
-void FuseNode::OnPingPayload(HostId neighbor, const std::vector<uint8_t>& payload) {
-  const std::vector<uint8_t> local = PingPayloadFor(neighbor);
-  if (payload == local) {
-    if (!local.empty()) {
-      ResetLinkTimers(neighbor);
-    }
+void FuseNode::AppendPingPayload(HostId neighbor, Writer& w) {
+  Sha1Digest d;
+  if (LinkHashFor(neighbor, &d)) {
+    w.PutBytes(d.data(), d.size());
+  }
+}
+
+void FuseNode::OnPingPayload(HostId neighbor, const uint8_t* data, size_t len) {
+  Sha1Digest local;
+  const bool monitored = LinkHashFor(neighbor, &local);
+  if (!monitored && len == 0) {
+    return;  // both sides agree: nothing monitored on this link
+  }
+  if (monitored && len == local.size() && std::memcmp(data, local.data(), len) == 0) {
+    ResetLinkTimers(neighbor);
     return;
   }
   MaybeReconcile(neighbor);
@@ -615,6 +629,7 @@ void FuseNode::OnReconcileReply(const WireMessage& msg) {
 // ---------------------------------------------------------------------------
 
 void FuseNode::SendSoftToTree(GroupState& g, HostId except, uint32_t seq) {
+  const PayloadBuf payload = EncodeIdSeq(g.id, seq);
   for (const auto& [peer, link] : g.links) {
     if (peer == except) {
       continue;
@@ -623,7 +638,7 @@ void FuseNode::SendSoftToTree(GroupState& g, HostId except, uint32_t seq) {
     msg.to = peer;
     msg.type = msgtype::kFuseSoftNotification;
     msg.category = MsgCategory::kFuseSoftNotification;
-    msg.payload = EncodeIdSeq(g.id, seq);
+    msg.payload = payload;
     transport_->Send(std::move(msg), nullptr);
     stats_.soft_notifications_sent++;
   }
@@ -831,12 +846,13 @@ void FuseNode::RootStartRepair(FuseId id) {
   g->repair->timer.Bind(env);
   g->repair->timer.Start(params_.root_repair_timeout, [this, id] { RootRepairFailed(id); });
 
+  const PayloadBuf repair_payload = EncodeIdSeq(id, g->seq);
   for (const auto& m : g->members) {
     WireMessage msg;
     msg.to = m.host;
     msg.type = msgtype::kFuseGroupRepairRequest;
     msg.category = MsgCategory::kFuseRepair;
-    msg.payload = EncodeIdSeq(id, g->seq);
+    msg.payload = repair_payload;
     transport_->Send(std::move(msg), [this, id](const Status& s) {
       if (!s.ok()) {
         // A member is unreachable: the repair has failed (paper 6.5).

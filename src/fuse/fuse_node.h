@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sha1.h"
 #include "common/status.h"
 #include "fuse/fuse_id.h"
 #include "fuse/params.h"
@@ -172,8 +173,9 @@ class FuseNode {
   void OnReconcileReply(const WireMessage& msg);
 
   // --- liveness ---
-  std::vector<uint8_t> PingPayloadFor(HostId neighbor);
-  void OnPingPayload(HostId neighbor, const std::vector<uint8_t>& payload);
+  bool LinkHashFor(HostId neighbor, Sha1Digest* out);
+  void AppendPingPayload(HostId neighbor, Writer& w);
+  void OnPingPayload(HostId neighbor, const uint8_t* data, size_t len);
   void OnOverlayNeighborFailed(HostId neighbor);
   void AddLink(GroupState& g, HostId peer, uint32_t seq);
   void RemoveLink(GroupState& g, HostId peer);

@@ -42,8 +42,16 @@ class SimNetwork {
     if (per_link_loss_ <= 0.0) {
       return 1.0;
     }
-    const auto path = GetPath(a, b);
-    return std::pow(1.0 - per_link_loss_, static_cast<double>(path.hops));
+    return RouteSuccessProbabilityForHops(GetPath(a, b).hops);
+  }
+
+  // Same survival model for a pre-resolved hop count (the transport caches
+  // per-connection paths). Keep the loss model defined here, in one place.
+  double RouteSuccessProbabilityForHops(uint32_t hops) const {
+    if (per_link_loss_ <= 0.0) {
+      return 1.0;
+    }
+    return std::pow(1.0 - per_link_loss_, static_cast<double>(hops));
   }
 
   FaultInjector& faults() { return faults_; }

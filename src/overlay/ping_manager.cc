@@ -2,9 +2,12 @@
 
 #include <utility>
 
-#include "common/serialize.h"
-
 namespace fuse {
+
+namespace {
+// Wire layout: u64 seq, then the client payload to the end of the message.
+constexpr size_t kPingHeaderBytes = 8;
+}  // namespace
 
 PingManager::PingManager(Transport* transport, Duration period, Duration timeout)
     : transport_(transport), period_(period), timeout_(timeout) {
@@ -21,11 +24,11 @@ void PingManager::Start() {
     return;
   }
   running_ = true;
-  for (auto& [host, peer] : peers_) {
+  peers_.ForEach([this](uint64_t key, Peer& peer) {
     if (!peer.ping.running() && !peer.failed) {
-      StartPeerPings(host);
+      StartPeerPings(HostId(key));
     }
-  }
+  });
 }
 
 void PingManager::Stop() {
@@ -33,41 +36,47 @@ void PingManager::Stop() {
     return;
   }
   running_ = false;
-  for (auto& [host, peer] : peers_) {
+  peers_.ForEach([](uint64_t, Peer& peer) {
     peer.ping.Stop();
     peer.timeout.Cancel();
-  }
+  });
 }
 
 void PingManager::UpdateNeighbors(const std::vector<HostId>& neighbors) {
-  // Remove peers no longer in the set (their timers auto-cancel).
-  std::unordered_map<HostId, bool> wanted;
-  for (HostId h : neighbors) {
-    wanted[h] = true;
-  }
-  for (auto it = peers_.begin(); it != peers_.end();) {
-    if (!wanted.contains(it->first)) {
-      it = peers_.erase(it);
-    } else {
-      ++it;
+  // Stamp every wanted peer with this round's epoch, creating the new ones;
+  // whatever still carries an older stamp afterwards is no longer wanted.
+  // No scratch map: the stamp lives in the peer entry.
+  ++wanted_epoch_;
+  for (const HostId h : neighbors) {
+    if (Peer* existing = peers_.Find(h.value); existing != nullptr) {
+      existing->wanted_epoch = wanted_epoch_;
+      continue;
+    }
+    Peer& p = peers_.FindOrInsert(h.value);
+    p.wanted_epoch = wanted_epoch_;
+    p.ping.Bind(transport_->env());
+    p.timeout.Bind(transport_->env());
+    // The timeout callback is installed once; every subsequent ping just
+    // rearms it (Restart), allocation-free.
+    p.timeout.SetCallback([this, h] { HandleFailure(h); });
+    if (running_) {
+      StartPeerPings(h);
     }
   }
-  for (HostId h : neighbors) {
-    if (!peers_.contains(h)) {
-      auto [it, inserted] = peers_.emplace(h, Peer(transport_->env()));
-      // The timeout callback is installed once; every subsequent ping just
-      // rearms it (Restart), allocation-free.
-      it->second.timeout.SetCallback([this, h] { HandleFailure(h); });
-      if (running_) {
-        StartPeerPings(h);
-      }
+  doomed_.clear();
+  peers_.ForEach([this](uint64_t key, Peer& peer) {
+    if (peer.wanted_epoch != wanted_epoch_) {
+      doomed_.push_back(key);
     }
+  });
+  for (const uint64_t key : doomed_) {
+    peers_.Erase(key);  // resets the entry: its timers auto-cancel
   }
 }
 
 void PingManager::StartPeerPings(HostId peer) {
-  auto it = peers_.find(peer);
-  if (it == peers_.end() || it->second.failed) {
+  Peer* p = peers_.Find(peer.value);
+  if (p == nullptr || p->failed) {
     return;
   }
   // A jittered first ping spreads load over the period (matches the
@@ -75,34 +84,33 @@ void PingManager::StartPeerPings(HostId peer) {
   // cycle is strictly periodic.
   const Duration phase =
       Duration::Micros(transport_->env().rng().UniformInt(0, period_.ToMicros()));
-  it->second.ping.Start(phase, period_, [this, peer] { SendPing(peer); });
+  p->ping.Start(phase, period_, [this, peer] { SendPing(peer); });
 }
 
 void PingManager::SendPing(HostId peer) {
-  auto it = peers_.find(peer);
-  if (it == peers_.end() || it->second.failed || !running_) {
+  Peer* p = peers_.Find(peer.value);
+  if (p == nullptr || p->failed || !running_) {
     return;
   }
-  Peer& p = it->second;
   const uint64_t seq = next_seq_++;
 
-  Writer w;
-  w.PutU64(seq);
-  std::vector<uint8_t> payload = provider_ ? provider_(peer) : std::vector<uint8_t>{};
-  w.PutU32(static_cast<uint32_t>(payload.size()));
-  w.PutBytes(payload.data(), payload.size());
+  scratch_.Clear();
+  scratch_.PutU64(seq);
+  if (provider_) {
+    provider_(peer, scratch_);
+  }
 
   WireMessage msg;
   msg.to = peer;
   msg.type = msgtype::kOverlayPing;
   msg.category = MsgCategory::kOverlayPing;
-  msg.payload = w.Take();
+  msg.payload = scratch_.TakeShared();
 
   // Keep the earliest outstanding deadline: if timeout >= period, a new
   // periodic send must not push out the failure verdict for the previous,
   // still-unanswered ping (a dead peer would never time out otherwise).
-  if (!p.timeout.pending()) {
-    p.timeout.Restart(timeout_);
+  if (!p->timeout.pending()) {
+    p->timeout.Restart(timeout_);
   }
   transport_->Send(std::move(msg), [this, peer](const Status& s) {
     if (!s.ok()) {
@@ -112,65 +120,57 @@ void PingManager::SendPing(HostId peer) {
 }
 
 void PingManager::OnPing(const WireMessage& msg) {
-  Reader r(msg.payload);
-  const uint64_t seq = r.GetU64();
-  const uint32_t len = r.GetU32();
-  std::vector<uint8_t> remote_payload(len);
-  r.GetBytes(remote_payload.data(), len);
-  if (!r.ok()) {
+  if (msg.payload.size() < kPingHeaderBytes) {
     return;
   }
+  Reader r(msg.payload);
+  const uint64_t seq = r.GetU64();
   // Reply with our own payload for this link (links are monitored from both
   // sides; replies let the pinger check our view of the shared state).
-  Writer w;
-  w.PutU64(seq);
-  std::vector<uint8_t> payload = provider_ ? provider_(msg.from) : std::vector<uint8_t>{};
-  w.PutU32(static_cast<uint32_t>(payload.size()));
-  w.PutBytes(payload.data(), payload.size());
-
+  scratch_.Clear();
+  scratch_.PutU64(seq);
+  if (provider_) {
+    provider_(msg.from, scratch_);
+  }
   WireMessage reply;
   reply.to = msg.from;
   reply.type = msgtype::kOverlayPingReply;
   reply.category = MsgCategory::kOverlayPingReply;
-  reply.payload = w.Take();
+  reply.payload = scratch_.TakeShared();
   transport_->Send(std::move(reply), nullptr);
 
   if (observer_) {
-    observer_(msg.from, remote_payload);
+    observer_(msg.from, msg.payload.data() + kPingHeaderBytes,
+              msg.payload.size() - kPingHeaderBytes);
   }
 }
 
 void PingManager::OnPingReply(const WireMessage& msg) {
-  Reader r(msg.payload);
-  r.GetU64();  // echoed seq; liveness only needs "a reply arrived"
-  const uint32_t len = r.GetU32();
-  std::vector<uint8_t> remote_payload(len);
-  r.GetBytes(remote_payload.data(), len);
-  if (!r.ok()) {
+  if (msg.payload.size() < kPingHeaderBytes) {
     return;
   }
-  auto it = peers_.find(msg.from);
-  if (it != peers_.end()) {
+  // The echoed seq is not inspected: liveness only needs "a reply arrived".
+  if (Peer* p = peers_.Find(msg.from.value); p != nullptr) {
     // Any reply from the peer proves liveness, so disarm the failure timeout
     // even if it answers an older ping than the latest one sent (with
     // timeout >= period several pings can be outstanding; a reply slower
     // than one period must not count as a failure).
-    it->second.timeout.Cancel();
+    p->timeout.Cancel();
   }
   if (observer_) {
-    observer_(msg.from, remote_payload);
+    observer_(msg.from, msg.payload.data() + kPingHeaderBytes,
+              msg.payload.size() - kPingHeaderBytes);
   }
 }
 
 void PingManager::HandleFailure(HostId peer) {
-  auto it = peers_.find(peer);
-  if (it == peers_.end() || it->second.failed) {
+  Peer* p = peers_.Find(peer.value);
+  if (p == nullptr || p->failed) {
     return;
   }
-  Peer& p = it->second;
-  p.ping.Stop();
-  p.timeout.Cancel();
-  p.failed = true;  // stop pinging; owner removes the peer via UpdateNeighbors
+  p->ping.Stop();
+  p->timeout.Cancel();
+  p->failed = true;  // stop pinging; owner removes the peer via UpdateNeighbors
   if (on_failure_) {
     on_failure_(peer);
   }

@@ -7,19 +7,28 @@
 // so FUSE adds no messages of its own in the failure-free steady state.
 // Links are monitored from both sides: each endpoint pings independently.
 //
-// Each peer owns a rearming PeriodicTimer (phase-jittered so the cluster's
-// ping load spreads over the period) and a one-shot timeout Timer whose
-// callback is installed once at peer creation — the steady-state
-// send/ack/rearm cycle allocates nothing.
+// The warm request→reply cycle is allocation-free end to end: peers live in
+// an open-addressed table (common/flat_map.h) reconciled against the wanted
+// set by epoch stamping instead of a scratch hash map, messages are encoded
+// into a reused Writer whose bytes become an inline PayloadBuf, the client
+// payload is appended directly to that Writer by the provider, and the
+// observer sees the remote payload as a view into the received message. Each
+// peer owns a rearming PeriodicTimer (phase-jittered so the cluster's ping
+// load spreads over the period) and a one-shot timeout Timer whose callback
+// is installed once at peer creation.
+//
+// Wire format (request and reply): u64 sequence number, then the client
+// payload running to the end of the message.
 #ifndef FUSE_OVERLAY_PING_MANAGER_H_
 #define FUSE_OVERLAY_PING_MANAGER_H_
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/ids.h"
+#include "common/serialize.h"
 #include "common/time.h"
 #include "sim/timer.h"
 #include "transport/transport.h"
@@ -28,12 +37,12 @@ namespace fuse {
 
 class PingManager {
  public:
-  // Returns the payload to attach to a ping (request or reply) on the link to
-  // `neighbor`.
-  using PayloadProvider = std::function<std::vector<uint8_t>(HostId neighbor)>;
+  // Appends the payload for a ping (request or reply) on the link to
+  // `neighbor` directly to the message under construction.
+  using PayloadProvider = std::function<void(HostId neighbor, Writer& w)>;
   // Observes the payload the remote side attached (fires for both requests
-  // and replies received).
-  using PayloadObserver = std::function<void(HostId neighbor, const std::vector<uint8_t>&)>;
+  // and replies received). The bytes are only valid during the call.
+  using PayloadObserver = std::function<void(HostId neighbor, const uint8_t* data, size_t len)>;
   // A neighbor failed to acknowledge a ping within the timeout (or the
   // connection broke).
   using FailureHandler = std::function<void(HostId neighbor)>;
@@ -60,11 +69,10 @@ class PingManager {
 
  private:
   struct Peer {
-    explicit Peer(Environment& env) : ping(env), timeout(env) {}
-
     PeriodicTimer ping;  // sends one ping per period (jittered phase)
     Timer timeout;       // armed while a ping is unanswered; any reply disarms
     bool failed = false; // failure already reported; awaiting removal
+    uint64_t wanted_epoch = 0;  // last UpdateNeighbors round that listed us
   };
 
   // Begins the peer's periodic ping cycle at a jittered phase.
@@ -80,9 +88,12 @@ class PingManager {
   PayloadProvider provider_;
   PayloadObserver observer_;
   FailureHandler on_failure_;
-  std::unordered_map<HostId, Peer> peers_;
+  FlatMap<Peer> peers_;  // keyed by HostId::value
   uint64_t next_seq_ = 1;
+  uint64_t wanted_epoch_ = 0;
   bool running_ = false;
+  Writer scratch_;                // reused encode buffer (capacity stays warm)
+  std::vector<uint64_t> doomed_;  // reused reconciliation scratch
 };
 
 }  // namespace fuse

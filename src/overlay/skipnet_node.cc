@@ -44,9 +44,10 @@ SkipNetNode::SkipNetNode(Transport* transport, RpcNode* rpc, std::string name, N
                [this](HostId caller, const std::vector<uint8_t>& req) {
                  return HandleNeighborQuery(caller, req);
                });
-  pings_.SetPayloadProvider([this](HostId neighbor) {
-    return client_payload_provider_ ? client_payload_provider_(neighbor)
-                                    : std::vector<uint8_t>{};
+  pings_.SetPayloadProvider([this](HostId neighbor, Writer& w) {
+    if (client_payload_provider_) {
+      client_payload_provider_(neighbor, w);
+    }
   });
   pings_.SetFailureHandler([this](HostId neighbor) { OnNeighborFailed(neighbor); });
 }

@@ -106,18 +106,17 @@ void LiveRuntime::RunOnLoop(std::function<void()> fn) {
 
 void LiveRuntime::SetHostDown(HostId h, bool down) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (down) {
-    down_hosts_.insert(h);
-  } else {
-    down_hosts_.erase(h);
+  if (h.value >= host_down_.size()) {
+    host_down_.resize(h.value + 1, 0);
   }
+  host_down_[h.value] = down ? 1 : 0;
 }
 
 void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
   bool blocked;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    blocked = down_hosts_.contains(msg.from) || down_hosts_.contains(msg.to);
+    blocked = IsDownLocked(msg.from) || IsDownLocked(msg.to);
   }
   metrics_.IncMessage(msg.category, msg.WireSize());
   const bool lost = blocked || rng_.Bernoulli(config_.loss_probability);
@@ -137,18 +136,15 @@ void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
     Transport::Handler handler;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (down_hosts_.contains(to)) {
+      if (IsDownLocked(to)) {
         return;
       }
-      const auto hit = handlers_.find(to);
-      if (hit == handlers_.end()) {
+      const uint8_t slot = MsgTypeSlot(msg.type);
+      if (to.value >= handlers_.size() || slot >= handlers_[to.value].size() ||
+          !handlers_[to.value][slot]) {
         return;
       }
-      const auto tit = hit->second.find(msg.type);
-      if (tit == hit->second.end()) {
-        return;
-      }
-      handler = tit->second;
+      handler = handlers_[to.value][slot];
     }
     handler(msg);
   });
@@ -158,13 +154,24 @@ void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
 }
 
 void LiveRuntime::RegisterHandler(HostId h, uint16_t type, Transport::Handler handler) {
+  const uint8_t slot = MsgTypeSlot(type);
+  FUSE_CHECK(slot != 0) << "unknown message type " << type
+                        << " (add it to msgtype::kAllTypes)";
   std::lock_guard<std::mutex> lock(mu_);
-  handlers_[h][type] = std::move(handler);
+  if (h.value >= handlers_.size()) {
+    handlers_.resize(h.value + 1);
+  }
+  if (handlers_[h.value].size() < msgtype::kNumSlots) {
+    handlers_[h.value].resize(msgtype::kNumSlots);
+  }
+  handlers_[h.value][slot] = std::move(handler);
 }
 
 void LiveRuntime::UnregisterAllHandlers(HostId h) {
   std::lock_guard<std::mutex> lock(mu_);
-  handlers_.erase(h);
+  if (h.value < handlers_.size()) {
+    handlers_[h.value].clear();
+  }
 }
 
 void LiveTransport::Send(WireMessage msg, SendCallback cb) {

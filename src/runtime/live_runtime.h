@@ -16,7 +16,6 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/environment.h"
@@ -63,6 +62,9 @@ class LiveRuntime : public Environment {
 
  private:
   void Loop();
+  bool IsDownLocked(HostId h) const {
+    return h.value < host_down_.size() && host_down_[h.value] != 0;
+  }
 
   Config config_;
   Rng rng_;
@@ -81,8 +83,10 @@ class LiveRuntime : public Environment {
   bool stopping_ = false;
 
   std::vector<std::unique_ptr<LiveTransport>> hosts_;
-  std::unordered_map<HostId, std::unordered_map<uint16_t, Transport::Handler>> handlers_;
-  std::unordered_set<HostId> down_hosts_;
+  // Dense by HostId (CreateHost hands out sequential ids); each host's
+  // dispatch table is a flat array indexed by MsgTypeSlot(type).
+  std::vector<std::vector<Transport::Handler>> handlers_;
+  std::vector<uint8_t> host_down_;
 
   std::thread thread_;
 };

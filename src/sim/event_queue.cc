@@ -12,6 +12,11 @@ EventQueue::EventQueue() {
   // first few pool reallocations.
   pool_.reserve(1024);
   free_list_.reserve(1024);
+  for (auto& level : levels_) {
+    for (uint32_t& head : level) {
+      head = kNil;
+    }
+  }
 }
 
 uint32_t EventQueue::AllocEvent(TimePoint when, EventFn fn) {
@@ -52,12 +57,15 @@ void EventQueue::Place(Ref r) {
   for (int level = 0; level < kLevels; ++level) {
     const uint64_t slot = SlotOf(e.when, level);
     if (slot - (cursor_ >> (level * kSlotBits)) < kSlots) {
-      std::vector<Ref>& bucket = levels_[level][slot & kSlotMask];
+      uint32_t& head = levels_[level][slot & kSlotMask];
       e.where = Event::Where::kWheel;
       e.level = static_cast<uint8_t>(level);
-      e.slot = static_cast<uint32_t>(slot & kSlotMask);
-      e.pos = static_cast<uint32_t>(bucket.size());
-      bucket.push_back(r);
+      e.prev = kNil;
+      e.next = head;
+      if (head != kNil) {
+        pool_[head].prev = r.index;
+      }
+      head = r.index;
       level_refs_[level]++;
       return;
     }
@@ -67,21 +75,22 @@ void EventQueue::Place(Ref r) {
 }
 
 void EventQueue::DrainSlot(int level, uint64_t slot) {
-  std::vector<Ref>& bucket = levels_[level][slot & kSlotMask];
-  if (bucket.empty()) {
-    return;
+  // Detach the whole list first: Place (level 0: due_ pushes; level > 0:
+  // re-inserts one level down) relinks each entry, so the walk reads `next`
+  // before handing the entry over. Wheel entries are always live (Cancel
+  // unlinks eagerly). List order within a slot is irrelevant: execution
+  // order is decided by the (time, seq) due heap.
+  uint32_t idx = levels_[level][slot & kSlotMask];
+  levels_[level][slot & kSlotMask] = kNil;
+  size_t drained = 0;
+  while (idx != kNil) {
+    Event& e = pool_[idx];
+    const uint32_t next = e.next;
+    ++drained;
+    Place(Ref{idx, e.generation});
+    idx = next;
   }
-  // Move the refs out so Place (level 0: due_ pushes; level > 0: re-inserts
-  // one level down) never appends to the bucket being drained.
-  std::vector<Ref> refs;
-  refs.swap(bucket);
-  level_refs_[level] -= refs.size();
-  for (Ref r : refs) {
-    Place(r);  // wheel refs are always live (Cancel removes eagerly)
-  }
-  // Return the emptied vector to the slot so its capacity is reused.
-  refs.clear();
-  bucket = std::move(refs);
+  level_refs_[level] -= drained;
 }
 
 void EventQueue::RefillFromOverflow() {
@@ -182,12 +191,18 @@ bool EventQueue::Cancel(TimerId id) {
   }
   Event& e = pool_[index];
   if (e.where == Event::Where::kWheel) {
-    // Slot-indexed handle: swap-remove the reference from its slot vector.
-    std::vector<Ref>& bucket = levels_[e.level][e.slot];
-    FUSE_CHECK(e.pos < bucket.size() && bucket[e.pos].index == index) << "corrupt timer handle";
-    bucket[e.pos] = bucket.back();
-    pool_[bucket[e.pos].index].pos = e.pos;
-    bucket.pop_back();
+    // Unlink from the slot's intrusive list; the covering slot number is
+    // recomputed from the event's own time and level.
+    if (e.prev != kNil) {
+      pool_[e.prev].next = e.next;
+    } else {
+      uint32_t& head = levels_[e.level][SlotOf(e.when, e.level) & kSlotMask];
+      FUSE_CHECK(head == index) << "corrupt timer handle";
+      head = e.next;
+    }
+    if (e.next != kNil) {
+      pool_[e.next].prev = e.prev;
+    }
     level_refs_[e.level]--;
   }
   // kDue / kOverflow refs are skipped lazily via the generation bump.

@@ -19,13 +19,19 @@
 // ping load schedules and fires millions of timers without a global heap.
 //
 // Cancellation is O(1) and fully reclaims the event: a TimerId encodes
-// (pool index, generation); each pool entry tracks which wheel slot (and
-// position) references it, so Cancel swap-removes the reference and frees the
-// entry — closure included — immediately. There is no tombstone set;
-// cancelling an already-fired or never-issued id is detected by a generation
-// mismatch and changes no accounting. Only entries in the two small heaps
-// (due window, far-future overflow) are lazily skipped, and their storage is
+// (pool index, generation); wheel slots are intrusive doubly-linked lists
+// threaded through the pool entries, so Cancel unlinks the entry and frees
+// it — closure included — immediately. There is no tombstone set; cancelling
+// an already-fired or never-issued id is detected by a generation mismatch
+// and changes no accounting. Only entries in the two small heaps (due
+// window, far-future overflow) are lazily skipped, and their storage is
 // still reclaimed at cancel time.
+//
+// Storage discipline: a wheel slot is one uint32 head index — there are no
+// per-slot vectors whose capacity must warm up — so once the pool and the
+// two heaps have grown to the workload's steady pending count, scheduling,
+// cancelling, and firing allocate nothing, no matter how events happen to
+// coincide within a slot.
 #ifndef FUSE_SIM_EVENT_QUEUE_H_
 #define FUSE_SIM_EVENT_QUEUE_H_
 
@@ -86,6 +92,8 @@ class EventQueue {
   static constexpr uint64_t kSlots = uint64_t{1} << kSlotBits;
   static constexpr uint64_t kSlotMask = kSlots - 1;
 
+  static constexpr uint32_t kNil = UINT32_MAX;
+
   // One pooled event. Entries are recycled through a free list; `generation`
   // is bumped on every release so stale references (in the heaps, or
   // user-held TimerIds) can be detected.
@@ -93,14 +101,16 @@ class EventQueue {
     TimePoint when;
     uint64_t seq = 0;       // global insertion sequence: the FIFO tiebreak
     uint32_t generation = 1;
-    // Where this entry's reference currently lives. Wheel positions are
-    // maintained on every move so Cancel can swap-remove in O(1); references
-    // in the due/overflow heaps are skipped lazily via the generation.
+    // Where this entry's reference currently lives. Wheel entries are linked
+    // into their slot's intrusive list so Cancel can unlink in O(1);
+    // references in the due/overflow heaps are skipped lazily via the
+    // generation. The covering slot number is recomputed from `when` and
+    // `level`, so no slot/position bookkeeping is stored.
     enum class Where : uint8_t { kFree, kWheel, kDue, kOverflow };
     Where where = Where::kFree;
     uint8_t level = 0;   // wheel level (when where == kWheel)
-    uint32_t slot = 0;   // masked slot index within the level
-    uint32_t pos = 0;    // index within the slot vector
+    uint32_t prev = kNil;  // intrusive slot-list links (when where == kWheel)
+    uint32_t next = kNil;
     EventFn fn;
   };
 
@@ -159,12 +169,13 @@ class EventQueue {
   std::vector<Event> pool_;
   std::vector<uint32_t> free_list_;
 
-  // levels_[L][s] holds refs whose absolute level-L slot number, modulo the
-  // rotation, is s. A slot only ever holds refs for one absolute slot number
-  // at a time (enforced by Place's level selection against cursor_). All
-  // wheel refs are live: Cancel removes its ref eagerly, so level_refs_ is an
-  // exact count of pending events stored in the wheels.
-  std::vector<Ref> levels_[kLevels][kSlots];
+  // levels_[L][s] heads the intrusive list of events whose absolute level-L
+  // slot number, modulo the rotation, is s. A slot only ever holds events
+  // for one absolute slot number at a time (enforced by Place's level
+  // selection against cursor_). All wheel entries are live: Cancel unlinks
+  // eagerly, so level_refs_ is an exact count of pending events stored in
+  // the wheels.
+  uint32_t levels_[kLevels][kSlots];
   size_t level_refs_[kLevels] = {0, 0, 0};
 
   // Absolute level-0 slot number of the next slot to drain. Invariant: every

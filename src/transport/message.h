@@ -3,10 +3,10 @@
 #define FUSE_TRANSPORT_MESSAGE_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "common/ids.h"
 #include "common/metrics.h"
+#include "common/payload_buf.h"
 
 namespace fuse {
 
@@ -53,14 +53,57 @@ inline constexpr uint16_t kSwimPingReq = 0x0502;
 inline constexpr uint16_t kSwimPingReqAck = 0x0503;
 // tests / examples
 inline constexpr uint16_t kTest = 0x0f00;
+
+// Every registered wire type above, in id order. This is the source of the
+// dense dispatch slots below: per-host handler tables are flat arrays of
+// kNumSlots entries indexed by MsgTypeSlot(type) instead of hash maps.
+inline constexpr uint16_t kAllTypes[] = {
+    kRpcRequest,          kRpcResponse,
+    kOverlayPing,         kOverlayPingReply,     kOverlayJoinSearch,
+    kOverlayJoinSearchReply, kOverlayNeighborNotify, kOverlayRouted,
+    kOverlayNeighborQuery,   kOverlayNeighborQueryReply,
+    kFuseGroupCreateRequest, kFuseGroupCreateReply, kFuseInstallChecking,
+    kFuseSoftNotification,   kFuseHardNotification, kFuseNeedRepair,
+    kFuseGroupRepairRequest, kFuseGroupRepairReply, kFuseReconcileRequest,
+    kFuseReconcileReply,
+    kAltPing,             kAltPingReply,         kAltCreate,
+    kAltCreateReply,      kAltNotify,
+    kSvSubscribe,         kSvSubscribeReply,     kSvContent,
+    kSwimPing,            kSwimAck,              kSwimPingReq,
+    kSwimPingReqAck,
+    kTest,
+};
+inline constexpr uint16_t kMaxType = 0x0f00;
+// Slot 0 is reserved for "unknown type" (never registered, never matched).
+inline constexpr size_t kNumSlots = 1 + sizeof(kAllTypes) / sizeof(kAllTypes[0]);
 }  // namespace msgtype
+
+namespace internal {
+struct MsgTypeSlotTable {
+  uint8_t slot[msgtype::kMaxType + 1] = {};
+  constexpr MsgTypeSlotTable() {
+    uint8_t next = 1;
+    for (const uint16_t t : msgtype::kAllTypes) {
+      slot[t] = next++;
+    }
+  }
+};
+inline constexpr MsgTypeSlotTable kMsgTypeSlotTable{};
+}  // namespace internal
+
+// Dense dispatch slot for a wire type; 0 for types not in msgtype::kAllTypes.
+inline constexpr uint8_t MsgTypeSlot(uint16_t type) {
+  return type <= msgtype::kMaxType ? internal::kMsgTypeSlotTable.slot[type] : 0;
+}
 
 struct WireMessage {
   HostId from;
   HostId to;
   uint16_t type = 0;
   MsgCategory category = MsgCategory::kApp;  // metrics attribution
-  std::vector<uint8_t> payload;
+  // Immutable and ref-counted: fan-out to N destinations, retransmission
+  // bookkeeping, and the in-order delivery slot all share one buffer.
+  PayloadBuf payload;
 
   // Approximate on-the-wire size: payload plus transport/IP framing.
   static constexpr uint64_t kHeaderBytes = 48;

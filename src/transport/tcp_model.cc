@@ -23,26 +23,49 @@ SimFabric::SimFabric(Environment& env, SimNetwork& net, CostModel cost, TcpParam
     : env_(env), net_(net), cost_(cost), tcp_(tcp) {}
 
 SimFabric::HostState& SimFabric::StateOf(HostId h) {
-  auto it = hosts_.find(h);
-  if (it == hosts_.end()) {
-    it = hosts_.emplace(h, HostState{}).first;
-    it->second.transport = std::make_unique<SimTransport>(this, h);
+  if (h.value >= hosts_.size()) {
+    hosts_.resize(h.value + 1);
   }
-  return it->second;
+  HostState& hs = hosts_[h.value];
+  if (hs.transport == nullptr) {
+    hs.transport = std::make_unique<SimTransport>(this, h);
+  }
+  return hs;
+}
+
+const SimFabric::HostState* SimFabric::FindState(HostId h) const {
+  if (h.value >= hosts_.size() || hosts_[h.value].transport == nullptr) {
+    return nullptr;
+  }
+  return &hosts_[h.value];
 }
 
 SimTransport* SimFabric::TransportFor(HostId host) { return StateOf(host).transport.get(); }
 
-SimFabric::Connection& SimFabric::ConnOf(HostId a, HostId b) { return connections_[PairKey(a, b)]; }
+SimFabric::Connection& SimFabric::ConnOf(HostId a, HostId b) {
+  Connection& conn = connections_.FindOrInsert(PairKey(a, b));
+  if (!conn.path_cached) {
+    const HostId lo = a < b ? a : b;
+    const HostId hi = a < b ? b : a;
+    conn.path[0] = net_.GetPath(lo, hi);
+    conn.path[1] = net_.GetPath(hi, lo);
+    conn.path_cached = true;
+  }
+  return conn;
+}
+
+double SimFabric::RouteSuccess(uint32_t hops) const {
+  return net_.RouteSuccessProbabilityForHops(hops);
+}
 
 Duration SimFabric::Rtt(HostId a, HostId b) const {
   return net_.GetPath(a, b).latency + net_.GetPath(b, a).latency;
 }
 
 bool SimFabric::IsHostUp(HostId host) const {
-  const auto it = hosts_.find(host);
+  const HostState* hs = FindState(host);
   // Hosts unseen by the fabric are considered up (they just have no state).
-  return it == hosts_.end() ? !net_.faults().IsHostDown(host) : it->second.up;
+  return hs == nullptr ? !net_.faults().IsHostDown(host) : hs->up;
 }
 
 void SimFabric::CrashHost(HostId host) {
@@ -53,11 +76,11 @@ void SimFabric::CrashHost(HostId host) {
   hs.send_busy_until = TimePoint::Zero();
   net_.faults().SetHostDown(host, true);
   // Break every connection touching this host. Peers' outstanding callbacks
-  // get kBroken. Collect the keys first: the callbacks BreakConnection fires
-  // may send messages, which can insert new connections and rehash the map
-  // mid-iteration.
+  // get kBroken. Collect the keys first and sort them (canonical low-pair
+  // order): the callbacks BreakConnection fires may send messages, which can
+  // insert new connections and rehash the table mid-iteration.
   std::vector<uint64_t> affected;
-  for (const auto& [key, conn] : connections_) {
+  connections_.ForEach([&](uint64_t key, Connection& conn) {
     const HostId lo(key >> 32);
     const HostId hi(key & 0xffffffffULL);
     if ((lo == host || hi == host) &&
@@ -65,9 +88,10 @@ void SimFabric::CrashHost(HostId host) {
          !conn.inflight.empty())) {
       affected.push_back(key);
     }
-  }
+  });
+  std::sort(affected.begin(), affected.end());
   for (const uint64_t key : affected) {
-    BreakConnection(&connections_[key]);
+    BreakConnection(connections_.Find(key));
   }
 }
 
@@ -80,7 +104,14 @@ void SimFabric::RestartHost(HostId host) {
 }
 
 void SimFabric::RegisterHandler(HostId host, uint16_t type, Transport::Handler handler) {
-  StateOf(host).handlers[type] = std::move(handler);
+  const uint8_t slot = MsgTypeSlot(type);
+  FUSE_CHECK(slot != 0) << "unknown message type " << type
+                        << " (add it to msgtype::kAllTypes)";
+  HostState& hs = StateOf(host);
+  if (hs.handlers.size() < msgtype::kNumSlots) {
+    hs.handlers.resize(msgtype::kNumSlots);
+  }
+  hs.handlers[slot] = std::move(handler);
 }
 
 void SimFabric::UnregisterAllHandlers(HostId host) { StateOf(host).handlers.clear(); }
@@ -135,6 +166,7 @@ void SimFabric::AttemptConnect(HostId initiator, HostId peer, uint64_t epoch, in
     conn.epoch++;
     auto pending = std::move(conn.pending);
     conn.pending.clear();
+    // From here on only locals: the callbacks may send and rehash the table.
     for (auto& p : pending) {
       InvokeCallback(std::move(p.cb), Status::Unreachable("connect failed"));
     }
@@ -142,13 +174,13 @@ void SimFabric::AttemptConnect(HostId initiator, HostId peer, uint64_t epoch, in
   }
   // SYN + SYNACK: both must survive, and the pair must not be blocked.
   env_.metrics().IncMessage(MsgCategory::kTransportControl, WireMessage::kHeaderBytes);
+  const int dir = initiator < peer ? 0 : 1;
   const bool blocked = net_.faults().IsBlocked(initiator, peer);
-  const bool ok = !blocked &&
-                  env_.rng().Bernoulli(net_.RouteSuccessProbability(initiator, peer)) &&
-                  env_.rng().Bernoulli(net_.RouteSuccessProbability(peer, initiator));
+  const bool ok = !blocked && env_.rng().Bernoulli(RouteSuccess(conn.path[dir].hops)) &&
+                  env_.rng().Bernoulli(RouteSuccess(conn.path[1 - dir].hops));
   if (ok) {
     env_.metrics().IncMessage(MsgCategory::kTransportControl, WireMessage::kHeaderBytes);
-    const Duration rtt = Rtt(initiator, peer);
+    const Duration rtt = conn.path[0].latency + conn.path[1].latency;
     env_.Schedule(rtt, [this, initiator, peer, epoch] {
       Connection& c = ConnOf(initiator, peer);
       if (c.epoch != epoch || c.state != Connection::State::kConnecting) {
@@ -177,111 +209,129 @@ void SimFabric::FlushPending(HostId a, HostId b, Connection* conn) {
 
 void SimFabric::StartDataSend(HostId from, Connection* conn, WireMessage msg,
                               Transport::SendCallback cb) {
-  HostState& hs = StateOf(from);
   const HostId to = msg.to;
-  auto st = std::make_shared<DataSendState>();
-  st->cb = std::move(cb);
-  st->conn_epoch = conn->epoch;
-  st->slot = std::make_shared<DeliverySlot>();
-  st->slot->msg = std::move(msg);
-  st->slot->dest_incarnation = StateOf(to).incarnation;
-  st->msg = st->slot->msg;  // retransmission bookkeeping keeps its own copy
-  st->inflight_pos = conn->inflight.size();
-  conn->inflight.push_back(st);
+  // Materialize the destination first: StateOf may grow hosts_, so take the
+  // incarnation by value before any reference into the vector is held.
+  const uint64_t dest_incarnation = StateOf(to).incarnation;
+  const SlotRef slot_ref = slot_pool_.Alloc();
+  const SendRef st_ref = send_pool_.Alloc();
+  DeliverySlot& slot = *slot_pool_.Get(slot_ref);
+  DataSendState& st = *send_pool_.Get(st_ref);
+  st.to = to;
+  st.wire_size = msg.WireSize();
+  st.category = msg.category;
+  st.cb = std::move(cb);
+  st.conn_epoch = conn->epoch;
+  st.slot = slot_ref;
+  slot.msg = std::move(msg);
+  slot.dest_incarnation = dest_incarnation;
+  st.inflight_pos = static_cast<uint32_t>(conn->inflight.size());
+  conn->inflight.push_back(st_ref);
   // Enqueue for in-order delivery on this direction.
   const int dir = from < to ? 0 : 1;
-  conn->delivery_queue[dir].push_back(st->slot);
+  conn->delivery_queue[dir].push_back(slot_ref);
   // Per-send CPU occupancy: sends from one host leave serialized (§7.4).
   const Duration overhead = cost_.SendOverhead();
   TimePoint depart = env_.Now();
   if (!overhead.IsZero()) {
+    HostState& hs = StateOf(from);
     const TimePoint busy_from = hs.send_busy_until > depart ? hs.send_busy_until : depart;
     depart = busy_from + overhead;
     hs.send_busy_until = depart;
   }
-  env_.Schedule(depart - env_.Now(), [this, from, st] { AttemptData(from, st); });
+  env_.Schedule(depart - env_.Now(), [this, from, st_ref] { AttemptData(from, st_ref); });
 }
 
-void SimFabric::RemoveInflight(Connection& conn, DataSendState* st) {
+void SimFabric::RemoveInflight(Connection& conn, SendRef ref) {
+  DataSendState* st = send_pool_.Get(ref);
   const size_t pos = st->inflight_pos;
-  if (pos >= conn.inflight.size() || conn.inflight[pos].get() != st) {
+  if (pos >= conn.inflight.size() || conn.inflight[pos] != ref) {
     return;  // already detached (e.g. by BreakConnection)
   }
-  conn.inflight[pos] = std::move(conn.inflight.back());
-  conn.inflight[pos]->inflight_pos = pos;
+  conn.inflight[pos] = conn.inflight.back();
+  send_pool_.Get(conn.inflight[pos])->inflight_pos = static_cast<uint32_t>(pos);
   conn.inflight.pop_back();
 }
 
-void SimFabric::AttemptData(HostId from, std::shared_ptr<DataSendState> st) {
-  const HostId to = st->msg.to;
+void SimFabric::AttemptData(HostId from, SendRef ref) {
+  DataSendState* st = send_pool_.Get(ref);
+  if (st == nullptr) {
+    return;  // the connection broke and BreakConnection reclaimed the state
+  }
+  st->retry = TimerId();  // if this was the backoff event, it has now fired
+  const HostId to = st->to;
   Connection& conn = ConnOf(from, to);
   if (conn.epoch != st->conn_epoch) {
-    // The connection broke while this send's departure event was in flight.
-    // BreakConnection drained the inflight list and already failed st->cb,
-    // so this invocation is a no-op safety net (InvokeCallback ignores a
-    // null callback) in case a future path ever bumps the epoch without
-    // draining.
-    InvokeCallback(std::move(st->cb), Status::Broken("connection reset"));
+    // Safety net: BreakConnection reclaims inflight state when it bumps the
+    // epoch, so a live state with a stale epoch should not occur; fail it
+    // cleanly if a future path ever bumps the epoch without draining.
+    Transport::SendCallback cb = std::move(st->cb);
+    send_pool_.Release(ref);
+    InvokeCallback(std::move(cb), Status::Broken("connection reset"));
     return;
   }
   if (st->attempt >= tcp_.max_data_attempts) {
-    RemoveInflight(conn, st.get());
-    BreakConnection(&conn);
-    InvokeCallback(std::move(st->cb), Status::Broken("retransmission limit"));
+    RemoveInflight(conn, ref);
+    Transport::SendCallback cb = std::move(st->cb);
+    send_pool_.Release(ref);
+    BreakConnection(&conn);  // reclaims the delivery slot with the queues
+    InvokeCallback(std::move(cb), Status::Broken("retransmission limit"));
     return;
   }
   st->attempt++;
-  env_.metrics().IncMessage(st->msg.category, st->msg.WireSize());
+  env_.metrics().IncMessage(st->category, st->wire_size);
+  const int dir = from < to ? 0 : 1;
   const bool blocked = net_.faults().IsBlocked(from, to);
-  const bool data_ok =
-      !blocked && env_.rng().Bernoulli(net_.RouteSuccessProbability(from, to));
-  const bool ack_ok =
-      data_ok && env_.rng().Bernoulli(net_.RouteSuccessProbability(to, from));
-  const Duration one_way = net_.GetPath(from, to).latency;
+  const bool data_ok = !blocked && env_.rng().Bernoulli(RouteSuccess(conn.path[dir].hops));
+  const bool ack_ok = data_ok && env_.rng().Bernoulli(RouteSuccess(conn.path[1 - dir].hops));
+  const Duration one_way = conn.path[dir].latency;
+  const Duration rtt = conn.path[0].latency + conn.path[1].latency;
 
-  if (data_ok && !st->slot->ready) {
-    st->slot->ready = true;
-    st->slot->ready_time = env_.Now() + one_way;
-    FlushDeliveries(&conn, from < to ? 0 : 1);
+  // A stale slot ref means the message was already delivered (a lost-ack
+  // retransmission): nothing left to mark ready.
+  if (data_ok) {
+    DeliverySlot* slot = slot_pool_.Get(st->slot);
+    if (slot != nullptr && !slot->ready) {
+      slot->ready = true;
+      slot->ready_time = env_.Now() + one_way;
+      FlushDeliveries(&conn, dir);
+    }
   }
   if (data_ok && ack_ok) {
-    RemoveInflight(conn, st.get());
-    const Duration rtt = Rtt(from, to);
-    auto cb = std::move(st->cb);
+    RemoveInflight(conn, ref);
+    Transport::SendCallback cb = std::move(st->cb);
+    send_pool_.Release(ref);
     env_.Schedule(rtt, [this, cb = std::move(cb)]() mutable {
       InvokeCallback(std::move(cb), Status::Ok());
     });
     return;
   }
-  // Retransmit with exponential backoff. The weak capture breaks the
-  // st -> retry -> callback -> st cycle; the state is kept alive by the
-  // connection's inflight list, and the timer auto-cancels if the state is
-  // dropped first.
-  const Duration base_rto = std::max(tcp_.min_rto, Rtt(from, to) * int64_t{2});
+  // Retransmit with exponential backoff. The closure carries only the pool
+  // ref: if the connection breaks first, BreakConnection cancels the event
+  // and reclaims the state, and a stale ref resolves to nothing.
+  const Duration base_rto = std::max(tcp_.min_rto, rtt * int64_t{2});
   const Duration backoff = base_rto * (int64_t{1} << (st->attempt - 1));
-  st->retry.Bind(env_);
-  st->retry.Start(backoff, [this, from, weak = std::weak_ptr<DataSendState>(st)] {
-    if (auto s = weak.lock()) {
-      AttemptData(from, std::move(s));
-    }
-  });
+  st->retry = env_.Schedule(backoff, [this, from, ref] { AttemptData(from, ref); });
 }
 
 void SimFabric::FlushDeliveries(Connection* conn, int dir) {
   // TCP in-order delivery with head-of-line blocking: deliver the longest
   // ready prefix of the queue; anything behind an unready slot waits.
-  auto& queue = conn->delivery_queue[dir];
-  while (!queue.empty() && queue.front()->ready) {
-    std::shared_ptr<DeliverySlot> slot = queue.front();
+  SlotQueue& queue = conn->delivery_queue[dir];
+  while (!queue.empty()) {
+    const SlotRef ref = queue.front();
+    const DeliverySlot* slot = slot_pool_.Get(ref);
+    if (!slot->ready) {
+      break;
+    }
     queue.pop_front();
     TimePoint deliver_at = slot->ready_time;
     if (deliver_at < conn->delivery_watermark[dir]) {
       deliver_at = conn->delivery_watermark[dir];
     }
     conn->delivery_watermark[dir] = deliver_at;
-    env_.Schedule(deliver_at - env_.Now(), [this, slot] {
-      Deliver(slot->msg.to, slot->dest_incarnation, slot->msg);
-    });
+    // Ownership of the slot passes to the scheduled event.
+    env_.Schedule(deliver_at - env_.Now(), [this, ref] { FinishDelivery(ref); });
   }
 }
 
@@ -290,41 +340,69 @@ void SimFabric::BreakConnection(Connection* conn) {
   conn->epoch++;
   conn->delivery_watermark[0] = TimePoint::Zero();
   conn->delivery_watermark[1] = TimePoint::Zero();
-  conn->delivery_queue[0].clear();
-  conn->delivery_queue[1].clear();
+  for (SlotQueue& queue : conn->delivery_queue) {
+    while (!queue.empty()) {
+      slot_pool_.Release(queue.front());
+      queue.pop_front();
+    }
+  }
   auto pending = std::move(conn->pending);
   conn->pending.clear();
+  // Drain the inflight list: cancel backoff events and reclaim the pool
+  // entries now, collecting the callbacks.
   auto inflight = std::move(conn->inflight);
   conn->inflight.clear();
-  for (auto& st : inflight) {
-    st->retry.Cancel();  // reclaim the backoff event immediately
+  std::vector<Transport::SendCallback> broken;
+  broken.reserve(inflight.size());
+  for (const SendRef ref : inflight) {
+    DataSendState* st = send_pool_.Get(ref);
+    if (st == nullptr) {
+      continue;
+    }
+    if (st->retry.valid()) {
+      env_.Cancel(st->retry);  // reclaim the backoff event immediately
+    }
+    broken.push_back(std::move(st->cb));
+    send_pool_.Release(ref);
   }
   // Invoke callbacks last, from locals only: they may send messages, which
   // can rehash connections_ and invalidate `conn`.
-  for (auto& p : pending) {
-    InvokeCallback(std::move(p.cb), Status::Broken("connection broke"));
+  for (auto& cb : pending) {
+    InvokeCallback(std::move(cb.cb), Status::Broken("connection broke"));
   }
-  for (auto& st : inflight) {
-    InvokeCallback(std::move(st->cb), Status::Broken("connection broke"));
+  for (auto& cb : broken) {
+    InvokeCallback(std::move(cb), Status::Broken("connection broke"));
   }
 }
 
-void SimFabric::Deliver(HostId to, uint64_t incarnation, WireMessage msg) {
-  auto it = hosts_.find(to);
-  if (it == hosts_.end()) {
+void SimFabric::FinishDelivery(SlotRef ref) {
+  DeliverySlot* slot = slot_pool_.Get(ref);
+  if (slot == nullptr) {
     return;
   }
-  HostState& hs = it->second;
-  if (!hs.up || hs.incarnation != incarnation) {
+  // Move everything out and reclaim the entry before running the handler:
+  // the handler may send, and pool growth would invalidate `slot`.
+  const WireMessage msg = std::move(slot->msg);
+  const uint64_t incarnation = slot->dest_incarnation;
+  slot_pool_.Release(ref);
+  Deliver(msg.to, incarnation, msg);
+}
+
+void SimFabric::Deliver(HostId to, uint64_t incarnation, const WireMessage& msg) {
+  const HostState* hs = FindState(to);
+  if (hs == nullptr) {
+    return;
+  }
+  if (!hs->up || hs->incarnation != incarnation) {
     return;  // crashed or restarted since the packet left
   }
-  const auto hit = hs.handlers.find(msg.type);
-  if (hit == hs.handlers.end()) {
+  const uint8_t slot = MsgTypeSlot(msg.type);
+  if (slot >= hs->handlers.size() || !hs->handlers[slot]) {
     FUSE_LOG(Debug) << "host " << to.ToString() << " has no handler for type " << msg.type;
     return;
   }
   // Copy the handler: it may unregister itself while running.
-  Transport::Handler handler = hit->second;
+  Transport::Handler handler = hs->handlers[slot];
   handler(msg);
 }
 

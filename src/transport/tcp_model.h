@@ -15,19 +15,27 @@
 //   * in-order delivery per connection direction.
 // Host crash/restart is modeled with incarnation numbers: deliveries and
 // callbacks addressed to a previous incarnation are dropped.
+//
+// The send/deliver fast path is allocation-free and index-addressed: host
+// state lives in a dense vector indexed by HostId, connections in an
+// open-addressed table keyed by the packed host pair, per-host handler
+// dispatch in a flat array indexed by MsgTypeSlot, and the per-send
+// retransmission/delivery state in generation-tagged pools (common/pool.h)
+// whose refs are carried through event closures instead of shared_ptrs.
+// WireMessage payloads are ref-counted PayloadBufs, so the delivery slot and
+// the retransmission bookkeeping share one buffer.
 #ifndef FUSE_TRANSPORT_TCP_MODEL_H_
 #define FUSE_TRANSPORT_TCP_MODEL_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/pool.h"
 #include "common/status.h"
 #include "net/network.h"
 #include "sim/environment.h"
-#include "sim/timer.h"
 #include "transport/cost_model.h"
 #include "transport/transport.h"
 
@@ -89,15 +97,56 @@ class SimFabric {
 
   // A message awaiting in-order delivery on one connection direction. TCP
   // delivers in order: a segment that needed retransmission blocks everything
-  // behind it (head-of-line blocking).
+  // behind it (head-of-line blocking). Owned by the connection's delivery
+  // queue until it becomes ready and is scheduled, then by the scheduled
+  // delivery event.
   struct DeliverySlot {
     WireMessage msg;
     uint64_t dest_incarnation = 0;
     bool ready = false;       // data has survived the route
     TimePoint ready_time;     // earliest possible delivery once ready
   };
+  using SlotRef = Pool<DeliverySlot>::Ref;
 
-  struct DataSendState;
+  // Retransmission bookkeeping for one send. Pooled; referenced from the
+  // connection's inflight list and from departure/backoff event closures.
+  // Retransmission attempts never re-touch the payload (delivery happens via
+  // the slot exactly once), so only the destination and the metrics
+  // attribution are kept — no message copy at all.
+  struct DataSendState {
+    HostId to;
+    uint64_t wire_size = 0;
+    MsgCategory category = MsgCategory::kApp;
+    Transport::SendCallback cb;
+    uint64_t conn_epoch = 0;
+    SlotRef slot;
+    int attempt = 0;
+    TimerId retry;            // pending backoff event, if any
+    uint32_t inflight_pos = 0;  // index in the owning connection's inflight list
+  };
+  using SendRef = Pool<DataSendState>::Ref;
+
+  // Vector-backed FIFO of slot refs that reuses its storage once warm (a
+  // deque would reallocate chunks as the cursor advances).
+  struct SlotQueue {
+    std::vector<SlotRef> refs;
+    size_t head = 0;
+
+    bool empty() const { return head == refs.size(); }
+    SlotRef front() const { return refs[head]; }
+    void push_back(SlotRef r) { refs.push_back(r); }
+    void pop_front() {
+      if (++head == refs.size()) {
+        refs.clear();
+        head = 0;
+      } else if (head >= 64 && head * 2 >= refs.size()) {
+        // Compact consumed refs so a queue that never fully drains (sustained
+        // head-of-line blocking) stays bounded by its live entries.
+        refs.erase(refs.begin(), refs.begin() + static_cast<ptrdiff_t>(head));
+        head = 0;
+      }
+    }
+  };
 
   struct Connection {
     enum class State { kClosed, kConnecting, kOpen };
@@ -105,30 +154,27 @@ class SimFabric {
     uint64_t epoch = 0;  // bumped on break; stale attempts abandon themselves
     std::vector<PendingSend> pending;
     // Sends with retransmission state outstanding on this connection.
-    // Breaking the connection cancels their retry timers and fails their
-    // callbacks immediately instead of leaving dead backoff events queued.
-    std::vector<std::shared_ptr<DataSendState>> inflight;
+    // Breaking the connection cancels their retry timers, fails their
+    // callbacks immediately, and reclaims their pool entries.
+    std::vector<SendRef> inflight;
     // In-order delivery machinery per direction (0: lo->hi host id, 1: other).
-    std::deque<std::shared_ptr<DeliverySlot>> delivery_queue[2];
+    SlotQueue delivery_queue[2];
     TimePoint delivery_watermark[2];
+    // One-way paths between the pair, cached on first use: host placement
+    // and the topology are immutable once hosts exist, and the data path
+    // queries them three times per transmission attempt.
+    bool path_cached = false;
+    Topology::PathInfo path[2];  // same direction indexing as delivery_queue
   };
 
   struct HostState {
-    std::unique_ptr<SimTransport> transport;
-    std::unordered_map<uint16_t, Transport::Handler> handlers;
+    std::unique_ptr<SimTransport> transport;  // null until materialized
+    // Flat dispatch table indexed by MsgTypeSlot(type); sized on first
+    // registration.
+    std::vector<Transport::Handler> handlers;
     uint64_t incarnation = 1;
     bool up = true;
     TimePoint send_busy_until;  // send-CPU serialization
-  };
-
-  struct DataSendState {
-    WireMessage msg;
-    Transport::SendCallback cb;
-    uint64_t conn_epoch;
-    std::shared_ptr<DeliverySlot> slot;
-    int attempt = 0;
-    Timer retry;             // exponential-backoff retransmission timer
-    size_t inflight_pos = 0; // index in the owning connection's inflight list
   };
 
   // Host ids are small sequential values (< 2^32), so the packed key is
@@ -140,24 +186,33 @@ class SimFabric {
   }
 
   HostState& StateOf(HostId h);
+  // Read-only lookup: nullptr for hosts the fabric has never materialized.
+  const HostState* FindState(HostId h) const;
   Connection& ConnOf(HostId a, HostId b);
+  // Per-packet route survival probability from the cached hop count
+  // (delegates to SimNetwork so the loss model lives in one place).
+  double RouteSuccess(uint32_t hops) const;
   void StartHandshake(HostId initiator, HostId peer, Connection* conn);
   void AttemptConnect(HostId initiator, HostId peer, uint64_t epoch, int attempt);
   void FlushPending(HostId a, HostId b, Connection* conn);
   void StartDataSend(HostId from, Connection* conn, WireMessage msg, Transport::SendCallback cb);
-  void AttemptData(HostId from, std::shared_ptr<DataSendState> st);
-  static void RemoveInflight(Connection& conn, DataSendState* st);
+  void AttemptData(HostId from, SendRef ref);
+  void RemoveInflight(Connection& conn, SendRef ref);
   void FlushDeliveries(Connection* conn, int dir);
   void BreakConnection(Connection* conn);
-  void Deliver(HostId to, uint64_t incarnation, WireMessage msg);
+  // Resolves a scheduled delivery: reclaims the slot, then dispatches.
+  void FinishDelivery(SlotRef ref);
+  void Deliver(HostId to, uint64_t incarnation, const WireMessage& msg);
   void InvokeCallback(Transport::SendCallback cb, Status status);
 
   Environment& env_;
   SimNetwork& net_;
   CostModel cost_;
   TcpParams tcp_;
-  std::unordered_map<HostId, HostState> hosts_;
-  std::unordered_map<uint64_t, Connection> connections_;
+  std::vector<HostState> hosts_;  // dense, indexed by HostId::value
+  FlatMap<Connection> connections_;  // keyed by PairKey
+  Pool<DataSendState> send_pool_;
+  Pool<DeliverySlot> slot_pool_;
 };
 
 }  // namespace fuse

@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "net/network.h"
 #include "runtime/sim_cluster.h"
 #include "sim/event_queue.h"
+#include "transport/tcp_model.h"
 
 namespace fuse {
 namespace {
@@ -100,6 +103,14 @@ std::string RunScenario(uint64_t seed) {
 TEST(DeterminismTest, SameSeedSameTrace) {
   const std::string a = RunScenario(0xF00D);
   const std::string b = RunScenario(0xF00D);
+  // For comparing traces across builds (e.g. before/after a transport
+  // refactor), dump the trace when FUSE_TRACE_OUT names a file.
+  if (const char* out = std::getenv("FUSE_TRACE_OUT"); out != nullptr) {
+    if (FILE* f = std::fopen(out, "w"); f != nullptr) {
+      std::fputs(a.c_str(), f);
+      std::fclose(f);
+    }
+  }
   EXPECT_EQ(a, b) << "simulation is not a pure function of its seed";
   // The scenario must actually exercise the notification path.
   EXPECT_NE(a.find("create "), std::string::npos);
@@ -110,6 +121,152 @@ TEST(DeterminismTest, DifferentSeedDifferentTrace) {
   const std::string a = RunScenario(1);
   const std::string b = RunScenario(2);
   EXPECT_NE(a, b) << "seed is not actually feeding the simulation";
+}
+
+// Golden trace for the transport fast path: a fixed scenario driven directly
+// through SimFabric — handshakes, warm in-order sends, loss-driven
+// retransmission and backoff, a blocked pair breaking the connection, a
+// crash with one active connection, and restart with a fresh incarnation.
+// The expected string below was generated from the pre-pooling/pre-PayloadBuf
+// implementation; any fast-path change (buffer sharing, send-state pooling,
+// dense tables) must keep it byte-identical: same RNG draw order, same event
+// schedule, same delivery and callback instants. On mismatch the actual
+// trace is printed so it can be diffed (or re-blessed deliberately).
+std::string RunTransportScenario() {
+  std::string trace;
+  char line[96];
+
+  TopologyConfig tcfg;
+  tcfg.num_as = 30;
+  Simulation sim(0xBEEF);
+  SimNetwork net{Topology::Generate(tcfg, sim.rng())};
+  SimFabric fabric(sim, net, CostModel::Cluster());
+  const HostId a = net.AddHost(sim.rng());
+  const HostId b = net.AddHost(sim.rng());
+  const HostId c = net.AddHost(sim.rng());
+
+  for (const HostId h : {a, b, c}) {
+    fabric.TransportFor(h)->RegisterHandler(
+        msgtype::kTest, [&trace, &line, &sim, h](const WireMessage& m) {
+          std::snprintf(line, sizeof(line), "rx t=%lld %llu<-%llu n=%zu b0=%d\n",
+                        static_cast<long long>(sim.Now().ToMicros()),
+                        static_cast<unsigned long long>(h.value),
+                        static_cast<unsigned long long>(m.from.value), m.payload.size(),
+                        m.payload.empty() ? -1 : static_cast<int>(m.payload[0]));
+          trace += line;
+        });
+  }
+  int tag = 0;
+  auto send = [&](HostId from, HostId to, std::vector<uint8_t> payload) {
+    WireMessage m;
+    m.to = to;
+    m.type = msgtype::kTest;
+    m.category = MsgCategory::kApp;
+    m.payload = std::move(payload);
+    const int t = tag++;
+    fabric.TransportFor(from)->Send(std::move(m), [&trace, &line, &sim, t](const Status& s) {
+      std::snprintf(line, sizeof(line), "cb t=%lld tag=%d ok=%d\n",
+                    static_cast<long long>(sim.Now().ToMicros()), t, s.ok());
+      trace += line;
+    });
+  };
+
+  // Cold connection + a warm in-order burst (serialized by send overhead).
+  send(a, b, {1});
+  send(a, b, {2});
+  send(a, b, {3});
+  sim.RunFor(Duration::Seconds(10));
+  // Retransmission under loss: RNG draws per attempt, backoff timers.
+  net.SetPerLinkLossRate(0.03);
+  for (uint8_t i = 10; i < 16; ++i) {
+    send(a, b, {i});
+  }
+  sim.RunFor(Duration::Minutes(5));
+  net.SetPerLinkLossRate(0.0);
+  // Reverse direction on the cached connection + a payload past any inline
+  // buffer + a fresh pair (c,b).
+  send(b, a, std::vector<uint8_t>(100, 0x5a));
+  send(c, b, {42});
+  sim.RunFor(Duration::Seconds(30));
+  // Blocked pair: retransmits until the connection breaks.
+  net.faults().BlockPair(a, b);
+  send(a, b, {77});
+  sim.RunFor(Duration::Minutes(10));
+  net.faults().UnblockPair(a, b);
+  // Crash c mid-send: exactly one connection (b,c) is affected.
+  send(c, b, {43});
+  fabric.CrashHost(c);
+  send(a, c, {44});  // to a dead host: unreachable
+  sim.RunFor(Duration::Minutes(10));
+  fabric.RestartHost(c);
+  fabric.TransportFor(c)->RegisterHandler(msgtype::kTest,
+                                          [&trace, &line, &sim](const WireMessage& m) {
+                                            std::snprintf(
+                                                line, sizeof(line), "rx2 t=%lld b0=%d\n",
+                                                static_cast<long long>(sim.Now().ToMicros()),
+                                                static_cast<int>(m.payload[0]));
+                                            trace += line;
+                                          });
+  send(c, b, {45});
+  send(a, c, {46});
+  sim.RunFor(Duration::Minutes(5));
+
+  for (int cat = 0; cat < static_cast<int>(MsgCategory::kCount); ++cat) {
+    const auto mc = static_cast<MsgCategory>(cat);
+    if (sim.metrics().MessageCount(mc) == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "msgs %s n=%llu bytes=%llu\n", MsgCategoryName(mc),
+                  static_cast<unsigned long long>(sim.metrics().MessageCount(mc)),
+                  static_cast<unsigned long long>(sim.metrics().ByteCount(mc)));
+    trace += line;
+  }
+  std::snprintf(line, sizeof(line), "events=%llu now=%lld\n",
+                static_cast<unsigned long long>(sim.queue().ExecutedCount()),
+                static_cast<long long>(sim.Now().ToMicros()));
+  trace += line;
+  return trace;
+}
+
+TEST(DeterminismTest, GoldenTransportFastPathTrace) {
+  const std::string trace = RunTransportScenario();
+  const std::string golden =
+      "rx t=172602 1<-0 n=1 b0=1\n"
+      "rx t=176502 1<-0 n=1 b0=2\n"
+      "rx t=180402 1<-0 n=1 b0=3\n"
+      "cb t=228836 tag=0 ok=1\n"
+      "cb t=232736 tag=1 ok=1\n"
+      "cb t=236636 tag=2 ok=1\n"
+      "cb t=10120268 tag=4 ok=1\n"
+      "cb t=11124168 tag=5 ok=1\n"
+      "cb t=11128068 tag=6 ok=1\n"
+      "cb t=11135868 tag=8 ok=1\n"
+      "rx t=13060134 1<-0 n=1 b0=10\n"
+      "rx t=13060134 1<-0 n=1 b0=11\n"
+      "rx t=13060134 1<-0 n=1 b0=12\n"
+      "rx t=13060134 1<-0 n=1 b0=13\n"
+      "rx t=13060134 1<-0 n=1 b0=14\n"
+      "rx t=13060134 1<-0 n=1 b0=15\n"
+      "cb t=13116368 tag=3 ok=1\n"
+      "cb t=17131968 tag=7 ok=1\n"
+      "rx t=310060134 0<-1 n=100 b0=90\n"
+      "cb t=310116368 tag=9 ok=1\n"
+      "rx t=310147252 1<-2 n=1 b0=42\n"
+      "cb t=310195036 tag=10 ok=1\n"
+      "cb t=403003900 tag=11 ok=0\n"
+      "cb t=940000000 tag=12 ok=0\n"
+      "cb t=971000000 tag=13 ok=0\n"
+      "rx2 t=1540035880 b0=46\n"
+      "cb t=1540046540 tag=15 ok=1\n"
+      "rx t=1540147252 1<-2 n=1 b0=45\n"
+      "cb t=1540195036 tag=14 ok=1\n"
+      "msgs app n=27 bytes=1422\n"
+      "msgs transport_control n=13 bytes=624\n"
+      "events=64 now=1840000000\n";
+  if (trace != golden) {
+    std::fprintf(stderr, "--- actual transport trace ---\n%s--- end ---\n", trace.c_str());
+  }
+  EXPECT_EQ(trace, golden);
 }
 
 // Golden trace for the event core's ordering contract: events fire in

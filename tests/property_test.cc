@@ -29,6 +29,8 @@ enum class FaultKind {
   kCrashBystander, // crash nodes that are in no watched group
   kSignal,         // explicit SignalFailure by a random member
   kPartition,      // partition a subset of members away
+  kPartitionHeal,  // partition, then heal mid-run: agreement is one-way, so
+                   // the notification must still reach everyone exactly once
   kMixed,          // several of the above at random
 };
 
@@ -42,6 +44,8 @@ std::string FaultKindName(FaultKind k) {
       return "Signal";
     case FaultKind::kPartition:
       return "Partition";
+    case FaultKind::kPartitionHeal:
+      return "PartitionHeal";
     case FaultKind::kMixed:
       return "Mixed";
   }
@@ -138,7 +142,8 @@ TEST_P(FuseAgreementProperty, OneWayAgreementHolds) {
       target_must_fail = true;
       break;
     }
-    case FaultKind::kPartition: {
+    case FaultKind::kPartition:
+    case FaultKind::kPartitionHeal: {
       // Split the group: at least one member on each side (members all on
       // one side of a partition can still talk — that is not a failure).
       std::vector<HostId> side;
@@ -162,7 +167,16 @@ TEST_P(FuseAgreementProperty, OneWayAgreementHolds) {
 
   // The analytic bound: ping interval + ping timeout + repair timeouts,
   // with slack for backoff — well within 8 minutes for these parameters.
-  cluster.sim().RunFor(Duration::Minutes(8));
+  if (kind == FaultKind::kPartitionHeal) {
+    // Heal after the detection window: one-way agreement means the group is
+    // already doomed, and reconnecting the network must not suppress (or
+    // duplicate) any member's notification.
+    cluster.sim().RunFor(Duration::Minutes(4));
+    cluster.net().faults().ClearPartitions();
+    cluster.sim().RunFor(Duration::Minutes(4));
+  } else {
+    cluster.sim().RunFor(Duration::Minutes(8));
+  }
 
   // Property 1: exactly-once delivery to every live member of the target.
   if (target_must_fail) {
@@ -201,7 +215,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1001, 1002, 1003, 1004, 1005),
                        ::testing::Values(FaultKind::kCrashMember, FaultKind::kCrashBystander,
                                          FaultKind::kSignal, FaultKind::kPartition,
-                                         FaultKind::kMixed)),
+                                         FaultKind::kPartitionHeal, FaultKind::kMixed)),
     [](const ::testing::TestParamInfo<std::tuple<uint64_t, FaultKind>>& param_info) {
       return FaultKindName(std::get<1>(param_info.param)) + "_seed" +
              std::to_string(std::get<0>(param_info.param));
