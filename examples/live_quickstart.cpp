@@ -1,0 +1,69 @@
+// Live quickstart: the exact quickstart flow — build, create a group, crash
+// a member, everyone hears exactly one notification — but on the wall-clock
+// LiveCluster backend instead of the simulator. Same harness API, same
+// protocol stack, real threads and real time: the paper's "identical code
+// base except for the base messaging layer" (section 7), runnable in a few
+// seconds thanks to the scaled protocol constants.
+//
+// Run: ./build/examples/example_live_quickstart
+#include <atomic>
+#include <cstdio>
+
+#include "runtime/live_cluster.h"
+
+using namespace fuse;
+
+int main() {
+  std::printf("== FUSE live (wall-clock) quickstart ==\n\n");
+
+  LiveCluster cluster(LiveClusterConfig::FastProtocol(/*num_nodes=*/8, /*seed=*/42));
+  cluster.Build();
+  std::printf("built a %zu-node overlay on the threaded live runtime\n\n", cluster.size());
+
+  // 1. Create a FUSE group spanning nodes {1, 3, 5}; node 1 is the root.
+  const std::vector<size_t> members{1, 3, 5};
+  FuseId group_id;
+  bool created = false;
+  cluster.Run([&] {
+    cluster.node(1).fuse()->CreateGroup(cluster.RefsOf(members),
+                                        [&](const Status& status, FuseId id) {
+                                          std::printf("CreateGroup -> %s, id=%s\n",
+                                                      status.ToString().c_str(),
+                                                      id.ToString().c_str());
+                                          group_id = id;
+                                          created = status.ok();
+                                        });
+  });
+  if (!cluster.Await([&] { return group_id.valid() || created; }, Duration::Seconds(10)) ||
+      !created) {
+    std::printf("group creation failed\n");
+    return 1;
+  }
+
+  // 2. Every member registers a failure handler.
+  std::atomic<int> fired{0};
+  cluster.Run([&] {
+    for (size_t m : members) {
+      cluster.node(m).fuse()->RegisterFailureHandler(group_id, [m, &fired](FuseId id) {
+        std::printf("  [node %zu] FAILURE notification for %s\n", m, id.ToString().c_str());
+        fired++;
+      });
+    }
+  });
+  std::printf("\nall members registered handlers; crashing node 5 ...\n");
+
+  // 3. Fail-stop crash of member 5: the two survivors must each hear exactly
+  //    one notification within the (scaled) analytic bound.
+  cluster.Crash(5);
+  if (!cluster.Await([&] { return fired.load() >= 2; }, Duration::Seconds(10))) {
+    std::printf("notifications missing: fired=%d (want 2)\n", fired.load());
+    return 1;
+  }
+  if (fired.load() != 2) {
+    std::printf("duplicate notifications: fired=%d (want 2)\n", fired.load());
+    return 1;
+  }
+
+  std::printf("\ndone: failure notifications never fail — on real threads, too.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// ClusterHarness: deployment-agnostic cluster machinery — topology-wide
+// build/join, fail-stop crash and restart, the churn driver, fault-rule
+// application, and the structural probes the paper's experiments use
+// (section 7). The harness is parameterized over a small Deployment backend
+// interface; the discrete-event simulator (SimCluster) and the wall-clock
+// threaded runtime (LiveCluster) are both thin adapters over it, so every
+// fault schedule written against the harness runs unchanged on either — the
+// paper's "identical code base except for the base messaging layer" claim,
+// now including the failure drivers, not just the protocol stack.
+#ifndef FUSE_RUNTIME_CLUSTER_H_
+#define FUSE_RUNTIME_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault_injector.h"
+#include "runtime/node.h"
+#include "sim/environment.h"
+#include "sim/timer.h"
+
+namespace fuse {
+
+// Harness-level waits. Defaults are the simulator's virtual-time bounds; a
+// wall-clock backend substitutes bounds matched to its (scaled) protocol
+// constants.
+struct HarnessTiming {
+  // Bound on one batch of overlay joins during Build.
+  Duration join_wait = Duration::Minutes(10);
+  // Quiet period after each anti-entropy round during Build.
+  Duration settle_round = Duration::Seconds(30);
+  // Bound on a blocking Restart rejoining the overlay.
+  Duration restart_wait = Duration::Minutes(5);
+};
+
+// The backend surface the harness needs: create hosts, crash/restart them at
+// the fabric level, apply fault rules, execute in the protocol context, and
+// advance (virtual or wall-clock) time.
+class Deployment {
+ public:
+  virtual ~Deployment() = default;
+
+  virtual Environment& env() = 0;
+
+  // Creates host `index`'s transport endpoint. Placement policy (e.g. router
+  // co-location) is backend-specific. Called once per host, in index order.
+  virtual Transport* CreateHost(size_t index) = 0;
+
+  // Fabric-level fail-stop crash: connections break, handlers clear, and the
+  // fault rules mark the host down. Restart brings a fresh incarnation up.
+  virtual void CrashHost(HostId h) = 0;
+  virtual void RestartHost(HostId h) = 0;
+
+  // Runs `fn` against the backend's fault rules under the backend's locking
+  // discipline (none in the sim; the loop lock in the live runtime).
+  virtual void ApplyFaults(const std::function<void(FaultInjector&)>& fn) = 0;
+
+  // Executes `fn` in the protocol context and waits for it: a direct call in
+  // the single-threaded sim, a loop-thread marshal (inline when already on
+  // the loop thread) in the live runtime. All node/overlay/FUSE access from
+  // outside the protocol context must go through here.
+  virtual void Run(const std::function<void()>& fn) = 0;
+
+  // Advances time by `d`: virtual time in the sim, a wall-clock sleep live.
+  virtual void AdvanceFor(Duration d) = 0;
+
+  // Runs until `pred` (evaluated in the protocol context) holds or `bound`
+  // elapses; returns pred's final value. Virtual-time event pumping in the
+  // sim, bounded wall-clock polling live.
+  virtual bool AwaitCondition(const std::function<bool()>& pred, Duration bound) = 0;
+
+  // True when time is simulated (waits are exact and free).
+  virtual bool virtual_time() const = 0;
+
+  // Quiesces the backend ahead of harness teardown: after this returns, no
+  // protocol code runs concurrently (the live runtime stops and joins its
+  // loop thread; the sim — already quiescent between Run*/Advance calls —
+  // needs nothing), so node destruction is race-free on the caller's
+  // thread. The deployment must still accept Schedule/Cancel calls (node
+  // and timer destructors issue them) without running anything.
+  virtual void PrepareTeardown() {}
+};
+
+// Deployment-independent slice of a cluster configuration.
+struct HarnessConfig {
+  int num_nodes = 0;
+  SkipNetConfig overlay;
+  FuseParams fuse;
+  // Nodes joined concurrently during Build (smaller = slower but gentler).
+  int join_batch = 16;
+  HarnessTiming timing;
+};
+
+class ClusterHarness {
+ public:
+  ClusterHarness(std::unique_ptr<Deployment> deployment, HarnessConfig config);
+  virtual ~ClusterHarness();
+
+  ClusterHarness(const ClusterHarness&) = delete;
+  ClusterHarness& operator=(const ClusterHarness&) = delete;
+
+  // Creates all hosts and joins every node into the overlay, then starts
+  // liveness maintenance everywhere. Advances time as needed.
+  // FUSE_CHECK-fails if the overlay could not be built.
+  void Build();
+
+  Deployment& deployment() { return *deploy_; }
+  Environment& env() { return deploy_->env(); }
+  const HarnessConfig& harness_config() const { return config_; }
+
+  size_t size() const { return nodes_.size(); }
+  Node& node(size_t i) { return *nodes_[i]; }
+  // Plain read; during live churn, sample it from the protocol context (Run).
+  bool IsUp(size_t i) const { return nodes_[i] != nullptr && up_[i]; }
+  static std::string NameOf(size_t i);
+
+  // --- protocol-context execution and time control (see Deployment) ---
+  void Run(const std::function<void()>& fn) { deploy_->Run(fn); }
+  void AdvanceFor(Duration d) { deploy_->AdvanceFor(d); }
+  bool Await(const std::function<bool()>& pred, Duration bound) {
+    return deploy_->AwaitCondition(pred, bound);
+  }
+  void ApplyFaults(const std::function<void(FaultInjector&)>& fn) { deploy_->ApplyFaults(fn); }
+  bool virtual_time() const { return deploy_->virtual_time(); }
+
+  // --- failure injection ---
+  // Fail-stop crash: the node loses all state and stops participating.
+  void Crash(size_t i);
+  // Restart after a crash: fresh node state (new numeric id, no FUSE state),
+  // rejoins the overlay via a live bootstrap. Blocks until joined.
+  void Restart(size_t i);
+  // Variant that only initiates the rejoin (for use inside the protocol
+  // context, e.g. from a churn timer).
+  void RestartAsync(size_t i);
+
+  // --- churn driver (paper section 7.5) ---
+  // Starts kill/restart cycles for nodes [first, first+count): exponential
+  // up-times and down-times with the given means.
+  void StartChurn(size_t first, size_t count, Duration mean_uptime, Duration mean_downtime);
+  void StopChurn();
+  size_t NumLiveNodes();
+
+  // --- conveniences for benches/tests ---
+  // k distinct live nodes drawn uniformly (indices). When `limit` is given,
+  // only indices below it are considered (e.g. the stable half of a churned
+  // cluster).
+  std::vector<size_t> PickLiveNodes(size_t k);
+  std::vector<size_t> PickLiveNodes(size_t k, size_t limit);
+  // Stable overlay reference for a node (valid even while it is crashed).
+  NodeRef RefOf(size_t i) const;
+  std::vector<NodeRef> RefsOf(const std::vector<size_t>& indices);
+  double AvgDistinctNeighbors();
+
+  // Level-0 ring consistency check: every live node's clockwise level-0
+  // pointer is the next live node in name order. Returns the number of
+  // violations (0 = perfect ring).
+  int CountRingViolations();
+
+ private:
+  void ScheduleChurnDeath(size_t i);
+  void ScheduleChurnRebirth(size_t i);
+  std::unique_ptr<Node> MakeNode(size_t i);
+  void CrashInContext(size_t i);
+  void RestartAsyncInContext(size_t i);
+
+  std::unique_ptr<Deployment> deploy_;
+  HarnessConfig config_;
+  std::vector<Transport*> transports_;
+  std::vector<HostId> hosts_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<bool> up_;
+  // Crashed node objects are parked here until teardown so that in-flight
+  // callbacks referencing them stay safe (they check their shutdown flags).
+  std::vector<std::unique_ptr<Node>> graveyard_;
+  bool churning_ = false;
+  Duration churn_uptime_;
+  Duration churn_downtime_;
+  // One kill/restart timer per churned node; StopChurn disarms them all
+  // instead of leaving dead events in the queue.
+  std::vector<Timer> churn_timers_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_RUNTIME_CLUSTER_H_

@@ -1,0 +1,140 @@
+#include "runtime/live_cluster.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fuse {
+
+namespace {
+// Wall-clock granularity of AwaitCondition polls. Each poll marshals the
+// predicate onto the loop thread, so this trades latency against loop load;
+// 2 ms is well under the scaled protocol constants (>= 50 ms).
+constexpr std::chrono::milliseconds kPollInterval{2};
+}  // namespace
+
+// Wall-clock backend: one loop thread, marshalled protocol access, real
+// sleeps. Fault rules live inside LiveRuntime, consulted by its Send path
+// under the loop lock.
+class LiveDeployment : public Deployment {
+ public:
+  explicit LiveDeployment(LiveClusterConfig config) : config_(std::move(config)) {
+    // The cluster-level seed is authoritative: it feeds the runtime's rng,
+    // which is the single randomness source for the whole deployment (node
+    // ids, join bootstraps, churn intervals, message latency draws).
+    LiveRuntime::Config rc = config_.runtime;
+    rc.seed = config_.seed;
+    runtime_ = std::make_unique<LiveRuntime>(rc);
+  }
+
+  Environment& env() override { return *runtime_; }
+
+  Transport* CreateHost(size_t index) override {
+    (void)index;  // sequential ids; no placement policy in-process
+    return runtime_->CreateHost();
+  }
+
+  void CrashHost(HostId h) override {
+    // Fail-stop: the fault rules drop the host's traffic both ways, and the
+    // dispatch table empties like a process that vanished (a restarted node
+    // re-registers, as in the paper's stable-storage-free recovery).
+    runtime_->SetHostDown(h, true);
+    runtime_->UnregisterAllHandlers(h);
+  }
+
+  void RestartHost(HostId h) override { runtime_->SetHostDown(h, false); }
+
+  void ApplyFaults(const std::function<void(FaultInjector&)>& fn) override {
+    runtime_->ApplyFaults(fn);
+  }
+
+  void Run(const std::function<void()>& fn) override { runtime_->RunOnLoop(fn); }
+
+  void AdvanceFor(Duration d) override {
+    FUSE_CHECK(!runtime_->OnLoopThread()) << "blocking wait on the loop thread";
+    std::this_thread::sleep_for(std::chrono::microseconds(d.ToMicros()));
+  }
+
+  bool AwaitCondition(const std::function<bool()>& pred, Duration bound) override {
+    FUSE_CHECK(!runtime_->OnLoopThread()) << "blocking wait on the loop thread";
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(bound.ToMicros());
+    for (;;) {
+      bool ok = false;
+      runtime_->RunOnLoop([&] { ok = pred(); });
+      if (ok) {
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(kPollInterval);
+    }
+  }
+
+  bool virtual_time() const override { return false; }
+
+  // Stops and joins the loop thread. Queued events are dropped, not run;
+  // Schedule/Cancel from node destructors still work against the (now
+  // inert) timer store.
+  void PrepareTeardown() override { runtime_->Stop(); }
+
+  LiveRuntime& runtime() { return *runtime_; }
+
+ private:
+  LiveClusterConfig config_;
+  std::unique_ptr<LiveRuntime> runtime_;
+};
+
+LiveClusterConfig LiveClusterConfig::FastProtocol(int num_nodes, uint64_t seed) {
+  LiveClusterConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.seed = seed;
+  // Scaled-down protocol constants (the LiveRuntime test settings): full
+  // failure-detection and repair cycles complete within a couple of seconds.
+  cfg.overlay.ping_period = Duration::Millis(200);
+  cfg.overlay.ping_timeout = Duration::Millis(100);
+  cfg.overlay.join_timeout = Duration::Millis(500);
+  cfg.overlay.query_timeout = Duration::Millis(200);
+  cfg.overlay.repair_delay = Duration::Millis(50);
+  cfg.overlay.leaf_exchange_period = Duration::Millis(500);
+  cfg.fuse.create_timeout = Duration::Seconds(2);
+  cfg.fuse.install_timeout = Duration::Seconds(1);
+  cfg.fuse.member_repair_timeout = Duration::Millis(600);
+  cfg.fuse.root_repair_timeout = Duration::Seconds(1);
+  cfg.fuse.link_liveness_timeout = Duration::Millis(400);
+  cfg.fuse.grace_period = Duration::Millis(100);
+  cfg.fuse.repair_backoff_initial = Duration::Millis(100);
+  cfg.fuse.repair_backoff_cap = Duration::Millis(400);
+  // Wall-clock wait bounds matched to those constants.
+  cfg.timing.join_wait = Duration::Seconds(20);
+  cfg.timing.settle_round = Duration::Millis(400);
+  cfg.timing.restart_wait = Duration::Seconds(20);
+  return cfg;
+}
+
+namespace {
+
+HarnessConfig HarnessConfigFrom(const LiveClusterConfig& c) {
+  HarnessConfig hc;
+  hc.num_nodes = c.num_nodes;
+  hc.overlay = c.overlay;
+  hc.fuse = c.fuse;
+  hc.join_batch = c.join_batch;
+  hc.timing = c.timing;
+  return hc;
+}
+
+}  // namespace
+
+LiveCluster::LiveCluster(LiveClusterConfig config)
+    : ClusterHarness(std::make_unique<LiveDeployment>(config), HarnessConfigFrom(config)),
+      live_deploy_(static_cast<LiveDeployment*>(&deployment())) {}
+
+LiveCluster::~LiveCluster() = default;
+
+LiveRuntime& LiveCluster::runtime() { return live_deploy_->runtime(); }
+
+}  // namespace fuse

@@ -10,6 +10,7 @@ namespace fuse {
 LiveRuntime::LiveRuntime(Config config)
     : config_(config), rng_(config.seed), start_(std::chrono::steady_clock::now()) {
   thread_ = std::thread([this] { Loop(); });
+  loop_id_ = thread_.get_id();
 }
 
 LiveRuntime::~LiveRuntime() { Stop(); }
@@ -40,8 +41,7 @@ TimerId LiveRuntime::Schedule(Duration d, UniqueFunction fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     seq = next_seq_++;
-    queue_.emplace(std::make_pair(when, seq), std::move(fn));
-    pending_.emplace(seq, when);
+    by_seq_.emplace(seq, queue_.emplace(QueueKey(when, seq), std::move(fn)).first);
   }
   cv_.notify_all();
   return TimerId(seq);
@@ -52,12 +52,12 @@ bool LiveRuntime::Cancel(TimerId id) {
   if (!id.valid()) {
     return false;
   }
-  const auto it = pending_.find(id.value);
-  if (it == pending_.end()) {
+  const auto it = by_seq_.find(id.value);
+  if (it == by_seq_.end()) {
     return false;  // already ran, already cancelled, or never issued
   }
-  queue_.erase(std::make_pair(it->second, id.value));
-  pending_.erase(it);
+  queue_.erase(it->second);
+  by_seq_.erase(it);
   return true;
 }
 
@@ -80,8 +80,8 @@ void LiveRuntime::Loop() {
     }
     const uint64_t seq = it->first.second;
     UniqueFunction fn = std::move(it->second);
+    by_seq_.erase(seq);
     queue_.erase(it);
-    pending_.erase(seq);
     lock.unlock();
     fn();
     lock.lock();
@@ -96,6 +96,10 @@ LiveTransport* LiveRuntime::CreateHost() {
 }
 
 void LiveRuntime::RunOnLoop(std::function<void()> fn) {
+  if (OnLoopThread()) {
+    fn();
+    return;
+  }
   std::promise<void> done;
   Schedule(Duration::Zero(), [&fn, &done] {
     fn();
@@ -104,19 +108,20 @@ void LiveRuntime::RunOnLoop(std::function<void()> fn) {
   done.get_future().wait();
 }
 
-void LiveRuntime::SetHostDown(HostId h, bool down) {
+void LiveRuntime::ApplyFaults(const std::function<void(FaultInjector&)>& fn) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (h.value >= host_down_.size()) {
-    host_down_.resize(h.value + 1, 0);
-  }
-  host_down_[h.value] = down ? 1 : 0;
+  fn(faults_);
+}
+
+void LiveRuntime::SetHostDown(HostId h, bool down) {
+  ApplyFaults([h, down](FaultInjector& f) { f.SetHostDown(h, down); });
 }
 
 void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
   bool blocked;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    blocked = IsDownLocked(msg.from) || IsDownLocked(msg.to);
+    blocked = faults_.IsBlocked(msg.from, msg.to);
   }
   metrics_.IncMessage(msg.category, msg.WireSize());
   const bool lost = blocked || rng_.Bernoulli(config_.loss_probability);
@@ -136,7 +141,10 @@ void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
     Transport::Handler handler;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (IsDownLocked(to)) {
+      // Re-check the rules at delivery time: a partition or crash applied
+      // while the message was in flight takes effect immediately, as it does
+      // for the sim fabric's per-attempt checks.
+      if (faults_.IsBlocked(msg.from, to)) {
         return;
       }
       const uint8_t slot = MsgTypeSlot(msg.type);

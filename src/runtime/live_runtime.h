@@ -6,6 +6,11 @@
 // All protocol code runs on one event-loop thread; application threads
 // interact through blocking facades (e.g. CreateGroupBlocking) or by posting
 // closures. Message latency is configurable; delivery is in-process.
+//
+// Fault semantics are expressed through the same FaultInjector rule set the
+// simulator fabric consults (host down, blocked pairs, partitions), evaluated
+// under the loop lock on every send and delivery — so a fault schedule
+// written against FaultInjector runs unchanged on either backend.
 #ifndef FUSE_RUNTIME_LIVE_RUNTIME_H_
 #define FUSE_RUNTIME_LIVE_RUNTIME_H_
 
@@ -18,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault_injector.h"
 #include "sim/environment.h"
 #include "transport/transport.h"
 
@@ -47,10 +53,19 @@ class LiveRuntime : public Environment {
   // Creates a transport endpoint for a new host.
   LiveTransport* CreateHost();
 
-  // Runs `fn` on the loop thread and waits for it to finish.
+  // Runs `fn` on the loop thread and waits for it to finish. Calling from the
+  // loop thread itself runs `fn` inline (protocol callbacks may re-enter the
+  // runtime through higher-level drivers without deadlocking).
   void RunOnLoop(std::function<void()> fn);
+  bool OnLoopThread() const { return std::this_thread::get_id() == loop_id_; }
+
+  // Applies a mutation/query against the fault rules under the loop lock.
+  // Sends racing with the mutation see either the old or the new rule set,
+  // never a partially-applied one.
+  void ApplyFaults(const std::function<void(FaultInjector&)>& fn);
 
   // Marks a host down: its messages are dropped (fail-stop crash).
+  // Convenience shim over ApplyFaults.
   void SetHostDown(HostId h, bool down);
 
   void Stop();
@@ -62,9 +77,6 @@ class LiveRuntime : public Environment {
 
  private:
   void Loop();
-  bool IsDownLocked(HostId h) const {
-    return h.value < host_down_.size() && host_down_[h.value] != 0;
-  }
 
   Config config_;
   Rng rng_;
@@ -73,12 +85,13 @@ class LiveRuntime : public Environment {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::multimap<std::pair<std::chrono::steady_clock::time_point, uint64_t>, UniqueFunction>
-      queue_;
-  // seq -> deadline for every queued (not yet fired) event, so Cancel can
-  // erase the queue entry eagerly and reject already-fired ids — mirroring
-  // the sim event queue's accounting semantics.
-  std::unordered_map<uint64_t, std::chrono::steady_clock::time_point> pending_;
+  // Pending events in one ordered map keyed (deadline, seq): the loop pops
+  // the front, Cancel erases through the seq index in one step. The index is
+  // also the "not yet fired" set, so Cancel of an already-run id is rejected
+  // — the same eager-cancel accounting as the sim timer wheel.
+  using QueueKey = std::pair<std::chrono::steady_clock::time_point, uint64_t>;
+  std::map<QueueKey, UniqueFunction> queue_;
+  std::unordered_map<uint64_t, std::map<QueueKey, UniqueFunction>::iterator> by_seq_;
   uint64_t next_seq_ = 1;
   bool stopping_ = false;
 
@@ -86,9 +99,12 @@ class LiveRuntime : public Environment {
   // Dense by HostId (CreateHost hands out sequential ids); each host's
   // dispatch table is a flat array indexed by MsgTypeSlot(type).
   std::vector<std::vector<Transport::Handler>> handlers_;
-  std::vector<uint8_t> host_down_;
+  // The full fault vocabulary (down hosts, blocked pairs, partitions),
+  // shared with the sim fabric. Guarded by mu_.
+  FaultInjector faults_;
 
   std::thread thread_;
+  std::thread::id loop_id_;
 };
 
 class LiveTransport : public Transport {

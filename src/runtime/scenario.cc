@@ -1,0 +1,278 @@
+#include "runtime/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/logging.h"
+
+namespace fuse {
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kCrashMember:
+      return "CrashMember";
+    case ScenarioKind::kPartitionHeal:
+      return "PartitionHeal";
+    case ScenarioKind::kChurnDuringCreate:
+      return "ChurnDuringCreate";
+  }
+  return "Unknown";
+}
+
+ScenarioTiming ScenarioTiming::Sim() {
+  ScenarioTiming t;
+  t.settle = Duration::Minutes(2);
+  t.create_bound = Duration::Minutes(3);
+  // The analytic bound: ping interval + ping timeout + repair timeouts,
+  // with slack for backoff — well within 8 minutes for these parameters.
+  t.detect_bound = Duration::Minutes(8);
+  t.post_settle = Duration::Minutes(2);
+  t.churn_mean_uptime = Duration::Seconds(90);
+  t.churn_mean_downtime = Duration::Seconds(60);
+  return t;
+}
+
+ScenarioTiming ScenarioTiming::Live() {
+  ScenarioTiming t;
+  // Matched to LiveClusterConfig::FastProtocol's scaled constants: detection
+  // is a few ping periods + repair timeouts, i.e. single-digit seconds.
+  t.settle = Duration::Seconds(1);
+  t.create_bound = Duration::Seconds(5);
+  t.detect_bound = Duration::Seconds(10);
+  t.post_settle = Duration::Seconds(1);
+  t.churn_mean_uptime = Duration::Millis(1500);
+  t.churn_mean_downtime = Duration::Millis(1000);
+  return t;
+}
+
+std::string ScenarioResult::ToString() const {
+  char head[96];
+  std::snprintf(head, sizeof(head), "groups_created=%d creates_failed=%d notified=%d%s",
+                groups_created, creates_failed, notified,
+                target_skipped ? " (target skipped: adverse network)" : "");
+  std::string s = head;
+  for (const auto& v : violations) {
+    s += "\n  violation: ";
+    s += v;
+  }
+  return s;
+}
+
+namespace {
+
+struct Group {
+  FuseId id;
+  std::vector<size_t> members;
+  // member index -> notification count; written only in the protocol
+  // context, read back through ClusterHarness::Run.
+  std::map<size_t, int> fired;
+  bool created = false;
+};
+
+// Issues one CreateGroup rooted at members[0] and waits for its verdict.
+// Returns 1 on success, 0 on a definite failure, -1 when no verdict arrived
+// within the bound (itself a property violation: creation must terminate).
+int CreateGroupBounded(ClusterHarness& cluster, Group& g, Duration bound) {
+  struct State {
+    bool done = false;
+    Status status;
+    FuseId id;
+  };
+  auto st = std::make_shared<State>();
+  cluster.Run([&] {
+    cluster.node(g.members[0])
+        .fuse()
+        ->CreateGroup(cluster.RefsOf(g.members), [st](const Status& s, FuseId id) {
+          st->status = s;
+          st->id = id;
+          st->done = true;
+        });
+  });
+  if (!cluster.Await([st] { return st->done; }, bound)) {
+    return -1;
+  }
+  if (!st->status.ok()) {
+    return 0;
+  }
+  g.id = st->id;
+  g.created = true;
+  return 1;
+}
+
+// Handlers capture the Group by shared_ptr: they stay registered in the
+// (still-running, on the live backend) nodes after the scenario returns, so
+// a late notification must find the counters alive, not freed stack state.
+void WatchGroup(ClusterHarness& cluster, const std::shared_ptr<Group>& g) {
+  cluster.Run([&] {
+    for (size_t m : g->members) {
+      cluster.node(m).fuse()->RegisterFailureHandler(g->id, [g, m](FuseId) { g->fired[m]++; });
+    }
+  });
+}
+
+}  // namespace
+
+ScenarioResult RunAgreementScenario(ClusterHarness& cluster, ScenarioKind kind,
+                                    const ScenarioOptions& options) {
+  ScenarioResult res;
+  const ScenarioTiming& tm = options.timing;
+  Rng fault_rng(options.seed * 7919 + 13);
+  char buf[160];
+  auto violate = [&res](const char* v) { res.violations.emplace_back(v); };
+
+  const size_t n = cluster.size();
+  // Under churn, the upper index half cycles through kill/restart while the
+  // groups live entirely in the stable lower half — so group membership is
+  // deterministic, while creation traffic still routes through (and repairs
+  // around) churning overlay nodes.
+  const size_t stable_limit = kind == ScenarioKind::kChurnDuringCreate ? n / 2 : n;
+  FUSE_CHECK(stable_limit >= static_cast<size_t>(options.max_group_size) + 2)
+      << "cluster too small for scenario";
+
+  if (kind == ScenarioKind::kChurnDuringCreate) {
+    cluster.StartChurn(stable_limit, n - stable_limit, tm.churn_mean_uptime,
+                       tm.churn_mean_downtime);
+  }
+
+  const bool tolerant =
+      options.tolerate_create_failures || kind == ScenarioKind::kChurnDuringCreate;
+
+  // Group 0 is the fault target; the rest are along for the never-a-duplicate
+  // property (and, under adversity, for create-verdict coverage).
+  std::vector<std::shared_ptr<Group>> groups;
+  for (int gi = 0; gi < options.num_groups; ++gi) {
+    auto g = std::make_shared<Group>();
+    const size_t size = static_cast<size_t>(
+        fault_rng.UniformInt(options.min_group_size, options.max_group_size));
+    g->members = cluster.PickLiveNodes(size, stable_limit);
+    // The target should exist; under churn or loss a create may fail with a
+    // definite error (a routing delegate died, a connection broke), so give
+    // it several attempts.
+    const int max_attempts = gi == 0 ? 8 : 1;
+    int verdict = 0;
+    for (int attempt = 0; attempt < max_attempts && verdict != 1; ++attempt) {
+      verdict = CreateGroupBounded(cluster, *g, tm.create_bound);
+      if (verdict == -1) {
+        std::snprintf(buf, sizeof(buf), "create of group %d returned no verdict within bound",
+                      gi);
+        violate(buf);
+        break;
+      }
+    }
+    if (verdict == 0) {
+      ++res.creates_failed;
+      if (!tolerant) {
+        std::snprintf(buf, sizeof(buf), "create of group %d failed without a fault", gi);
+        violate(buf);
+      }
+    }
+    if (g->created) {
+      ++res.groups_created;
+      WatchGroup(cluster, g);
+      groups.push_back(std::move(g));
+    } else if (gi == 0) {
+      // No target group. With a clean network that is already a recorded
+      // violation; under tolerated adversity the fault/notification phase is
+      // vacuous for this seed — report it as skipped rather than failed.
+      if (tolerant && verdict == 0) {
+        res.target_skipped = true;
+      }
+      if (kind == ScenarioKind::kChurnDuringCreate) {
+        cluster.StopChurn();
+      }
+      return res;
+    }
+  }
+  cluster.AdvanceFor(tm.settle);
+
+  // Apply the fault schedule to the target.
+  Group& target = *groups[0];
+  std::set<size_t> crashed;
+  switch (kind) {
+    case ScenarioKind::kCrashMember:
+    case ScenarioKind::kChurnDuringCreate: {
+      const size_t victim =
+          target.members[fault_rng.UniformInt(0, static_cast<int64_t>(target.members.size()) - 1)];
+      crashed.insert(victim);
+      cluster.Crash(victim);
+      break;
+    }
+    case ScenarioKind::kPartitionHeal: {
+      // Split the group: at least one member on each side (members all on
+      // one side of a partition can still talk — that is not a failure).
+      std::vector<HostId> side;
+      cluster.Run([&] {
+        for (size_t k = 0; k < std::max<size_t>(1, target.members.size() / 2); ++k) {
+          side.push_back(cluster.node(target.members[k]).host());
+        }
+      });
+      cluster.ApplyFaults([&side](FaultInjector& f) { f.PartitionHosts(side); });
+      break;
+    }
+  }
+
+  // Property 1, timing half: every live member hears about the failure
+  // within the analytic bound. (For PartitionHeal, both partition sides
+  // detect independently — the wait completes while still partitioned.)
+  const bool in_bound = cluster.Await(
+      [&] {
+        for (size_t m : target.members) {
+          if (crashed.contains(m)) {
+            continue;
+          }
+          const auto it = target.fired.find(m);
+          if (it == target.fired.end() || it->second < 1) {
+            return false;
+          }
+        }
+        return true;
+      },
+      tm.detect_bound);
+  if (!in_bound) {
+    violate("notification did not reach every live target member within the bound");
+  }
+
+  // Heal mid-run: agreement is one-way, so the group is already doomed and
+  // reconnecting the network must not suppress (or duplicate) anything.
+  if (kind == ScenarioKind::kPartitionHeal) {
+    cluster.ApplyFaults([](FaultInjector& f) { f.ClearPartitions(); });
+  }
+  if (kind == ScenarioKind::kChurnDuringCreate) {
+    cluster.StopChurn();
+  }
+  cluster.AdvanceFor(tm.post_settle);
+
+  // Property 1, exactness half + Property 2: exactly-once on the target,
+  // never more than once anywhere.
+  cluster.Run([&] {
+    for (size_t m : target.members) {
+      if (crashed.contains(m)) {
+        continue;
+      }
+      const auto it = target.fired.find(m);
+      const int count = it == target.fired.end() ? 0 : it->second;
+      if (count != 1) {
+        std::snprintf(buf, sizeof(buf), "target member %zu heard %d notifications (want 1)", m,
+                      count);
+        violate(buf);
+      } else {
+        ++res.notified;
+      }
+    }
+    for (const auto& g : groups) {
+      for (const auto& [m, count] : g->fired) {
+        if (count > 1) {
+          std::snprintf(buf, sizeof(buf), "member %zu heard %d notifications on one group", m,
+                        count);
+          violate(buf);
+        }
+      }
+    }
+  });
+  return res;
+}
+
+}  // namespace fuse

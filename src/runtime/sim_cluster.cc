@@ -1,260 +1,89 @@
 #include "runtime/sim_cluster.h"
 
-#include <algorithm>
-#include <cstdio>
-
-#include "common/logging.h"
+#include <utility>
 
 namespace fuse {
 
-SimCluster::SimCluster(ClusterConfig config) : config_(std::move(config)), sim_(config_.seed) {
-  Topology topo = Topology::Generate(config_.topology, sim_.rng());
-  net_ = std::make_unique<SimNetwork>(std::move(topo));
-  fabric_ = std::make_unique<SimFabric>(sim_, *net_, config_.cost, config_.tcp);
-  // The cluster starts maintenance explicitly once the whole overlay exists;
-  // this keeps construction cheap and matches a coordinated deployment.
-  config_.overlay.start_maintenance_on_join = false;
+// Discrete-event backend: virtual time, direct protocol calls, fault rules
+// applied to the SimNetwork the fabric consults on every attempt.
+class SimDeployment : public Deployment {
+ public:
+  explicit SimDeployment(ClusterConfig config)
+      : config_(std::move(config)), sim_(config_.seed) {
+    Topology topo = Topology::Generate(config_.topology, sim_.rng());
+    net_ = std::make_unique<SimNetwork>(std::move(topo));
+    fabric_ = std::make_unique<SimFabric>(sim_, *net_, config_.cost, config_.tcp);
+    // Mirrors the harness's own adjustment, so config() reflects how nodes
+    // are actually constructed.
+    config_.overlay.start_maintenance_on_join = false;
+  }
+
+  Environment& env() override { return sim_; }
+
+  Transport* CreateHost(size_t index) override {
+    HostId h;
+    if (config_.hosts_per_machine > 1) {
+      // Co-locate groups of nodes on one router ("machine"), as on the
+      // paper's 40-machine ModelNet cluster.
+      if (index % static_cast<size_t>(config_.hosts_per_machine) == 0) {
+        machine_ = net_->topology().RandomRouter(sim_.rng());
+      }
+      h = net_->AddHostAt(machine_);
+    } else {
+      h = net_->AddHost(sim_.rng());
+    }
+    return fabric_->TransportFor(h);
+  }
+
+  void CrashHost(HostId h) override { fabric_->CrashHost(h); }
+  void RestartHost(HostId h) override { fabric_->RestartHost(h); }
+
+  void ApplyFaults(const std::function<void(FaultInjector&)>& fn) override {
+    fn(net_->faults());
+  }
+
+  void Run(const std::function<void()>& fn) override { fn(); }
+  void AdvanceFor(Duration d) override { sim_.RunFor(d); }
+  bool AwaitCondition(const std::function<bool()>& pred, Duration bound) override {
+    return sim_.RunUntilCondition(pred, sim_.Now() + bound);
+  }
+  bool virtual_time() const override { return true; }
+
+  const ClusterConfig& config() const { return config_; }
+  Simulation& sim() { return sim_; }
+  SimNetwork& net() { return *net_; }
+  SimFabric& fabric() { return *fabric_; }
+
+ private:
+  ClusterConfig config_;
+  Simulation sim_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<SimFabric> fabric_;
+  RouterId machine_;
+};
+
+namespace {
+
+HarnessConfig HarnessConfigFrom(const ClusterConfig& c) {
+  HarnessConfig hc;
+  hc.num_nodes = c.num_nodes;
+  hc.overlay = c.overlay;
+  hc.fuse = c.fuse;
+  hc.join_batch = c.join_batch;
+  return hc;  // timing keeps the virtual-time defaults
 }
+
+}  // namespace
+
+SimCluster::SimCluster(ClusterConfig config)
+    : ClusterHarness(std::make_unique<SimDeployment>(config), HarnessConfigFrom(config)),
+      sim_deploy_(static_cast<SimDeployment*>(&deployment())) {}
 
 SimCluster::~SimCluster() = default;
 
-std::string SimCluster::NameOf(size_t i) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "node%05zu", i);
-  return buf;
-}
-
-std::unique_ptr<Node> SimCluster::MakeNode(size_t i) {
-  SimTransport* transport = fabric_->TransportFor(hosts_[i]);
-  const NumericId numeric(sim_.rng().NextU64());
-  return std::make_unique<Node>(transport, NameOf(i), numeric, config_.overlay, config_.fuse);
-}
-
-void SimCluster::Build() {
-  FUSE_CHECK(nodes_.empty()) << "Build called twice";
-  const int n = config_.num_nodes;
-  hosts_.reserve(n);
-  if (config_.hosts_per_machine > 1) {
-    // Co-locate groups of nodes on one router ("machine"), as on the paper's
-    // 40-machine ModelNet cluster.
-    RouterId machine;
-    for (int i = 0; i < n; ++i) {
-      if (i % config_.hosts_per_machine == 0) {
-        machine = net_->topology().RandomRouter(sim_.rng());
-      }
-      hosts_.push_back(net_->AddHostAt(machine));
-    }
-  } else {
-    for (int i = 0; i < n; ++i) {
-      hosts_.push_back(net_->AddHost(sim_.rng()));
-    }
-  }
-
-  nodes_.resize(n);
-  up_.assign(n, true);
-  for (int i = 0; i < n; ++i) {
-    nodes_[i] = MakeNode(i);
-  }
-
-  // Node 0 seeds the overlay; the rest join in batches against random
-  // already-joined nodes.
-  nodes_[0]->overlay()->JoinAsFirst();
-  int joined_count = 1;
-  int next = 1;
-  while (next < n) {
-    const int batch_end = std::min(n, next + config_.join_batch);
-    int pending = batch_end - next;
-    int failures = 0;
-    for (int i = next; i < batch_end; ++i) {
-      const size_t boot = static_cast<size_t>(sim_.rng().UniformInt(0, joined_count - 1));
-      nodes_[i]->overlay()->Join(hosts_[boot], [&pending, &failures](const Status& s) {
-        --pending;
-        if (!s.ok()) {
-          ++failures;
-        }
-      });
-    }
-    sim_.RunUntilCondition([&] { return pending == 0; },
-                           sim_.Now() + Duration::Minutes(10));
-    FUSE_CHECK(pending == 0 && failures == 0)
-        << "overlay build failed: " << failures << " join failures, " << pending << " pending";
-    joined_count = batch_end;
-    next = batch_end;
-  }
-
-  for (int i = 0; i < n; ++i) {
-    nodes_[i]->overlay()->StartMaintenance();
-  }
-  // Converge the level-0 ring before handing the overlay to applications:
-  // a few anti-entropy rounds let leaf sets settle so that steady state has
-  // no further pointer churn (which would otherwise trigger spurious FUSE
-  // tree repairs right after the experiment starts).
-  for (int round = 0; round < 3; ++round) {
-    for (int i = 0; i < n; ++i) {
-      nodes_[i]->overlay()->RunLeafExchangeOnce();
-    }
-    sim_.RunFor(Duration::Seconds(30));
-  }
-}
-
-void SimCluster::Crash(size_t i) {
-  FUSE_CHECK(i < nodes_.size() && nodes_[i] != nullptr && up_[i]) << "bad crash target";
-  up_[i] = false;
-  fabric_->CrashHost(hosts_[i]);
-  nodes_[i]->ShutdownAll();
-  graveyard_.push_back(std::move(nodes_[i]));
-}
-
-void SimCluster::RestartAsync(size_t i) {
-  FUSE_CHECK(i < nodes_.size() && nodes_[i] == nullptr && !up_[i]) << "bad restart target";
-  fabric_->RestartHost(hosts_[i]);
-  nodes_[i] = MakeNode(i);
-  up_[i] = true;
-  // Bootstrap from any live node other than ourselves.
-  size_t boot = i;
-  for (int tries = 0; tries < 64; ++tries) {
-    const size_t candidate =
-        static_cast<size_t>(sim_.rng().UniformInt(0, static_cast<int64_t>(nodes_.size()) - 1));
-    if (candidate != i && IsUp(candidate) && nodes_[candidate]->overlay()->joined()) {
-      boot = candidate;
-      break;
-    }
-  }
-  if (boot == i) {
-    nodes_[i]->overlay()->JoinAsFirst();
-    nodes_[i]->overlay()->StartMaintenance();
-    return;
-  }
-  nodes_[i]->overlay()->Join(hosts_[boot], [this, i](const Status& s) {
-    if (s.ok() && nodes_[i] != nullptr) {
-      nodes_[i]->overlay()->StartMaintenance();
-    }
-  });
-}
-
-void SimCluster::Restart(size_t i) {
-  RestartAsync(i);
-  sim_.RunUntilCondition([&] { return nodes_[i]->overlay()->joined(); },
-                         sim_.Now() + Duration::Minutes(5));
-}
-
-void SimCluster::StartChurn(size_t first, size_t count, Duration mean_uptime,
-                            Duration mean_downtime) {
-  churning_ = true;
-  churn_uptime_ = mean_uptime;
-  churn_downtime_ = mean_downtime;
-  churn_timers_.resize(nodes_.size());
-  for (size_t i = first; i < first + count && i < nodes_.size(); ++i) {
-    ScheduleChurnDeath(i);
-  }
-}
-
-void SimCluster::StopChurn() {
-  churning_ = false;
-  for (Timer& t : churn_timers_) {
-    t.Cancel();
-  }
-}
-
-void SimCluster::ScheduleChurnDeath(size_t i) {
-  const Duration life = Duration::SecondsF(sim_.rng().Exponential(churn_uptime_.ToSecondsF()));
-  churn_timers_[i].Bind(sim_);
-  churn_timers_[i].Start(life, [this, i] {
-    if (!churning_ || !IsUp(i)) {
-      return;
-    }
-    Crash(i);
-    ScheduleChurnRebirth(i);
-  });
-}
-
-void SimCluster::ScheduleChurnRebirth(size_t i) {
-  const Duration down = Duration::SecondsF(sim_.rng().Exponential(churn_downtime_.ToSecondsF()));
-  churn_timers_[i].Start(down, [this, i] {
-    if (!churning_ || up_[i]) {
-      return;
-    }
-    RestartAsync(i);
-    ScheduleChurnDeath(i);
-  });
-}
-
-size_t SimCluster::NumLiveNodes() const {
-  size_t n = 0;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (IsUp(i)) {
-      ++n;
-    }
-  }
-  return n;
-}
-
-std::vector<size_t> SimCluster::PickLiveNodes(size_t k) {
-  std::vector<size_t> live;
-  live.reserve(nodes_.size());
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (IsUp(i)) {
-      live.push_back(i);
-    }
-  }
-  FUSE_CHECK(k <= live.size()) << "not enough live nodes";
-  sim_.rng().Shuffle(live);
-  live.resize(k);
-  return live;
-}
-
-NodeRef SimCluster::RefOf(size_t i) const {
-  // Names and hosts are stable across crash/restart, so refs can be built
-  // even for currently-dead nodes (e.g. to attempt creating a group that
-  // includes one).
-  return NodeRef{NameOf(i), hosts_[i]};
-}
-
-std::vector<NodeRef> SimCluster::RefsOf(const std::vector<size_t>& indices) {
-  std::vector<NodeRef> refs;
-  refs.reserve(indices.size());
-  for (size_t i : indices) {
-    refs.push_back(RefOf(i));
-  }
-  return refs;
-}
-
-double SimCluster::AvgDistinctNeighbors() const {
-  size_t total = 0;
-  size_t live = 0;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (IsUp(i)) {
-      total += nodes_[i]->overlay()->NumDistinctNeighbors();
-      ++live;
-    }
-  }
-  return live == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(live);
-}
-
-int SimCluster::CountRingViolations() const {
-  // Collect live nodes sorted by name; check each cw level-0 pointer.
-  std::vector<size_t> live;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (IsUp(i)) {
-      live.push_back(i);
-    }
-  }
-  if (live.size() < 2) {
-    return 0;
-  }
-  std::sort(live.begin(), live.end(), [this](size_t a, size_t b) {
-    return nodes_[a]->ref().name < nodes_[b]->ref().name;
-  });
-  int violations = 0;
-  for (size_t k = 0; k < live.size(); ++k) {
-    const size_t i = live[k];
-    const size_t expected = live[(k + 1) % live.size()];
-    const NodeRef& cw = nodes_[i]->overlay()->table().level(0).cw;
-    if (!cw.valid() || cw.name != nodes_[expected]->ref().name) {
-      ++violations;
-    }
-  }
-  return violations;
-}
+Simulation& SimCluster::sim() { return sim_deploy_->sim(); }
+SimNetwork& SimCluster::net() { return sim_deploy_->net(); }
+SimFabric& SimCluster::fabric() { return sim_deploy_->fabric(); }
+const ClusterConfig& SimCluster::config() const { return sim_deploy_->config(); }
 
 }  // namespace fuse

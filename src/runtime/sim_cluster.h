@@ -1,17 +1,16 @@
-// SimCluster: builds and drives a whole simulated deployment — topology,
-// messaging fabric, N full-stack nodes — and provides the failure/churn
-// drivers used by the paper's experiments (section 7).
+// SimCluster: the simulated deployment — the ClusterHarness machinery
+// (topology-wide build, crash/restart, churn, fault rules) over a discrete
+// event simulation backend: Topology + SimNetwork + SimFabric driven by
+// virtual time. This is the paper's discrete-event-simulator configuration
+// (section 7); LiveCluster (live_cluster.h) is the wall-clock twin.
 #ifndef FUSE_RUNTIME_SIM_CLUSTER_H_
 #define FUSE_RUNTIME_SIM_CLUSTER_H_
 
 #include <memory>
-#include <string>
-#include <vector>
 
 #include "net/network.h"
-#include "runtime/node.h"
+#include "runtime/cluster.h"
 #include "sim/simulation.h"
-#include "sim/timer.h"
 #include "transport/tcp_model.h"
 
 namespace fuse {
@@ -49,79 +48,20 @@ struct ClusterConfig {
   }
 };
 
-class SimCluster {
+class SimDeployment;
+
+class SimCluster : public ClusterHarness {
  public:
   explicit SimCluster(ClusterConfig config);
-  ~SimCluster();
+  ~SimCluster() override;
 
-  SimCluster(const SimCluster&) = delete;
-  SimCluster& operator=(const SimCluster&) = delete;
-
-  // Creates all hosts and joins every node into the overlay, then starts
-  // liveness maintenance everywhere. Runs the simulation as needed.
-  // FUSE_CHECK-fails if the overlay could not be built.
-  void Build();
-
-  Simulation& sim() { return sim_; }
-  SimNetwork& net() { return *net_; }
-  SimFabric& fabric() { return *fabric_; }
-  const ClusterConfig& config() const { return config_; }
-
-  size_t size() const { return nodes_.size(); }
-  Node& node(size_t i) { return *nodes_[i]; }
-  bool IsUp(size_t i) const { return nodes_[i] != nullptr && up_[i]; }
-  static std::string NameOf(size_t i);
-
-  // --- failure injection ---
-  // Fail-stop crash: the node loses all state and stops participating.
-  void Crash(size_t i);
-  // Restart after a crash: fresh node state (new numeric id, no FUSE state),
-  // rejoins the overlay via a live bootstrap. Runs the sim until joined.
-  void Restart(size_t i);
-  // Variant that only initiates the rejoin (for use inside a running sim).
-  void RestartAsync(size_t i);
-
-  // --- churn driver (paper section 7.5) ---
-  // Starts kill/restart cycles for nodes [first, first+count): exponential
-  // up-times and down-times with the given means.
-  void StartChurn(size_t first, size_t count, Duration mean_uptime, Duration mean_downtime);
-  void StopChurn();
-  size_t NumLiveNodes() const;
-
-  // --- conveniences for benches/tests ---
-  // k distinct live nodes drawn uniformly (indices).
-  std::vector<size_t> PickLiveNodes(size_t k);
-  // Stable overlay reference for a node (valid even while it is crashed).
-  NodeRef RefOf(size_t i) const;
-  std::vector<NodeRef> RefsOf(const std::vector<size_t>& indices);
-  double AvgDistinctNeighbors() const;
-
-  // Level-0 ring consistency check: every live node's clockwise level-0
-  // pointer is the next live node in name order. Returns the number of
-  // violations (0 = perfect ring).
-  int CountRingViolations() const;
+  Simulation& sim();
+  SimNetwork& net();
+  SimFabric& fabric();
+  const ClusterConfig& config() const;
 
  private:
-  void ScheduleChurnDeath(size_t i);
-  void ScheduleChurnRebirth(size_t i);
-  std::unique_ptr<Node> MakeNode(size_t i);
-
-  ClusterConfig config_;
-  Simulation sim_;
-  std::unique_ptr<SimNetwork> net_;
-  std::unique_ptr<SimFabric> fabric_;
-  std::vector<HostId> hosts_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<bool> up_;
-  // Crashed node objects are parked here until teardown so that in-flight
-  // callbacks referencing them stay safe (they check their shutdown flags).
-  std::vector<std::unique_ptr<Node>> graveyard_;
-  bool churning_ = false;
-  Duration churn_uptime_;
-  Duration churn_downtime_;
-  // One kill/restart timer per churned node; StopChurn disarms them all
-  // instead of leaving dead events in the queue.
-  std::vector<Timer> churn_timers_;
+  SimDeployment* sim_deploy_;  // owned by the base class
 };
 
 }  // namespace fuse

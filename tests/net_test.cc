@@ -143,6 +143,64 @@ TEST(FaultInjectorTest, Partition) {
   EXPECT_FALSE(f.IsBlocked(a, c));
 }
 
+TEST(FaultInjectorTest, LayeredPartitionsIsolateEveryGroup) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3), d(4), e(5), g(6);
+  // Two partitions layered on one rule set: {a,b} and {c,d}. Each group can
+  // talk internally; nothing crosses a boundary — including into the
+  // unassigned remainder {e,g}, which forms its own implicit side.
+  f.PartitionHosts({a, b});
+  f.PartitionHosts({c, d});
+  EXPECT_FALSE(f.IsBlocked(a, b));
+  EXPECT_FALSE(f.IsBlocked(c, d));
+  EXPECT_FALSE(f.IsBlocked(e, g));
+  EXPECT_TRUE(f.IsBlocked(a, c));
+  EXPECT_TRUE(f.IsBlocked(b, d));
+  EXPECT_TRUE(f.IsBlocked(a, e));
+  EXPECT_TRUE(f.IsBlocked(d, g));
+  f.ClearPartitions();
+  EXPECT_FALSE(f.IsBlocked(a, c));
+  EXPECT_FALSE(f.IsBlocked(d, g));
+}
+
+TEST(FaultInjectorTest, RepartitionMovesHostToItsNewGroup) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3);
+  f.PartitionHosts({a, b});
+  EXPECT_FALSE(f.IsBlocked(a, b));
+  // A host appears in at most one group at a time: re-partitioning b moves
+  // it out of {a,b} and into the new group with c.
+  f.PartitionHosts({b, c});
+  EXPECT_TRUE(f.IsBlocked(a, b));
+  EXPECT_FALSE(f.IsBlocked(b, c));
+  EXPECT_TRUE(f.IsBlocked(a, c));
+}
+
+TEST(FaultInjectorTest, BlockedPairLayersOverPartition) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3);
+  f.PartitionHosts({a, b, c});
+  EXPECT_FALSE(f.IsBlocked(a, b));
+  // An intransitive pair failure inside a partition group still blocks that
+  // pair (the rules are independent layers, not a single verdict).
+  f.BlockPair(a, b);
+  EXPECT_TRUE(f.IsBlocked(a, b));
+  EXPECT_FALSE(f.IsBlocked(a, c));
+  EXPECT_FALSE(f.IsBlocked(b, c));
+  f.UnblockPair(a, b);
+  EXPECT_FALSE(f.IsBlocked(a, b));
+  // And the other way around: healing the partition does not unblock pairs.
+  f.BlockPair(a, c);
+  f.ClearPartitions();
+  EXPECT_TRUE(f.IsBlocked(a, c));
+  EXPECT_FALSE(f.IsBlocked(a, b));
+  // Down-host rules also survive partition healing.
+  f.SetHostDown(b, true);
+  EXPECT_TRUE(f.IsBlocked(a, b));
+  f.SetHostDown(b, false);
+  EXPECT_FALSE(f.IsBlocked(a, b));
+}
+
 TEST(NetworkTest, CoLocatedHostsShareRouter) {
   Rng rng(11);
   TopologyConfig cfg;

@@ -7,6 +7,8 @@
 // whose members/paths failed are never notified spuriously.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "overlay/routing_table.h"
+#include "runtime/scenario.h"
 #include "runtime/sim_cluster.h"
 
 namespace fuse {
@@ -31,6 +34,7 @@ enum class FaultKind {
   kPartition,      // partition a subset of members away
   kPartitionHeal,  // partition, then heal mid-run: agreement is one-way, so
                    // the notification must still reach everyone exactly once
+  kChurnCreate,    // create groups while bystanders churn, then crash
   kMixed,          // several of the above at random
 };
 
@@ -46,10 +50,19 @@ std::string FaultKindName(FaultKind k) {
       return "Partition";
     case FaultKind::kPartitionHeal:
       return "PartitionHeal";
+    case FaultKind::kChurnCreate:
+      return "ChurnCreate";
     case FaultKind::kMixed:
       return "Mixed";
   }
   return "Unknown";
+}
+
+// The nightly scenario matrix sets FUSE_PROPERTY_LOSS_PCT (0 / 1 / 5) to run
+// the same schedules over a lossy fabric; unset means a clean network.
+double PerLinkLossFromEnv() {
+  const char* pct = std::getenv("FUSE_PROPERTY_LOSS_PCT");
+  return pct == nullptr ? 0.0 : std::atof(pct) / 100.0;
 }
 
 class FuseAgreementProperty
@@ -62,8 +75,50 @@ TEST_P(FuseAgreementProperty, OneWayAgreementHolds) {
   cfg.seed = seed;
   cfg.topology.num_as = 60;
   cfg.cost = CostModel::Simulator();
+  // Loss is applied to the built overlay (as in the paper's Fig. 11/12 route
+  // loss experiments), not during construction: multi-hop joins under 5%
+  // per-link loss would make Build itself flaky, which is not the property
+  // under test.
+  const double loss = PerLinkLossFromEnv();
+
+  // CrashMember, PartitionHeal, and ChurnCreate are the backend-parameterized
+  // schedules: ONE definition (runtime/scenario.h) runs here on virtual time
+  // and, in live_parity_test.cc, on the wall-clock LiveCluster — the paper's
+  // "identical code base on simulator and live cluster" methodology.
+  if (kind == FaultKind::kCrashMember || kind == FaultKind::kPartitionHeal ||
+      kind == FaultKind::kChurnCreate) {
+    SimCluster cluster(cfg);
+    cluster.Build();
+    cluster.net().SetPerLinkLossRate(loss);
+    ScenarioOptions opts;
+    opts.seed = seed;
+    opts.timing = ScenarioTiming::Sim();
+    opts.tolerate_create_failures = loss > 0.0;
+    const ScenarioKind sk = kind == FaultKind::kCrashMember ? ScenarioKind::kCrashMember
+                            : kind == FaultKind::kPartitionHeal
+                                ? ScenarioKind::kPartitionHeal
+                                : ScenarioKind::kChurnDuringCreate;
+    const ScenarioResult result = RunAgreementScenario(cluster, sk, opts);
+    EXPECT_TRUE(result.ok()) << FaultKindName(kind) << " seed " << seed << ": "
+                             << result.ToString();
+    if (loss == 0.0) {
+      // On a clean network the run must be substantive, not vacuous: the
+      // target group exists and its members all heard the notification.
+      EXPECT_FALSE(result.target_skipped);
+      EXPECT_GE(result.notified, 1) << result.ToString();
+    } else if (result.target_skipped) {
+      // Under tolerated loss a skipped target is legal but worth seeing in
+      // the nightly logs.
+      std::printf("note: %s seed %llu skipped target under %.0f%% loss\n",
+                  FaultKindName(kind).c_str(), static_cast<unsigned long long>(seed),
+                  loss * 100.0);
+    }
+    return;
+  }
+
   SimCluster cluster(cfg);
   cluster.Build();
+  cluster.net().SetPerLinkLossRate(loss);
   Rng fault_rng(seed * 7919 + 13);
 
   // A handful of random groups; half will be targeted by faults, half are
@@ -115,14 +170,11 @@ TEST_P(FuseAgreementProperty, OneWayAgreementHolds) {
   };
   bool target_must_fail = false;
   switch (kind) {
-    case FaultKind::kCrashMember: {
-      const size_t victim =
-          target.members[fault_rng.UniformInt(0, static_cast<int64_t>(target.members.size()) - 1)];
-      crashed.insert(victim);
-      cluster.Crash(victim);
-      target_must_fail = true;
+    case FaultKind::kCrashMember:
+    case FaultKind::kPartitionHeal:
+    case FaultKind::kChurnCreate:
+      FAIL() << "backend-parameterized kinds return above via RunAgreementScenario";
       break;
-    }
     case FaultKind::kCrashBystander: {
       int budget = 3;
       for (size_t n = 0; n < cluster.size() && budget > 0; ++n) {
@@ -142,8 +194,7 @@ TEST_P(FuseAgreementProperty, OneWayAgreementHolds) {
       target_must_fail = true;
       break;
     }
-    case FaultKind::kPartition:
-    case FaultKind::kPartitionHeal: {
+    case FaultKind::kPartition: {
       // Split the group: at least one member on each side (members all on
       // one side of a partition can still talk — that is not a failure).
       std::vector<HostId> side;
@@ -167,16 +218,7 @@ TEST_P(FuseAgreementProperty, OneWayAgreementHolds) {
 
   // The analytic bound: ping interval + ping timeout + repair timeouts,
   // with slack for backoff — well within 8 minutes for these parameters.
-  if (kind == FaultKind::kPartitionHeal) {
-    // Heal after the detection window: one-way agreement means the group is
-    // already doomed, and reconnecting the network must not suppress (or
-    // duplicate) any member's notification.
-    cluster.sim().RunFor(Duration::Minutes(4));
-    cluster.net().faults().ClearPartitions();
-    cluster.sim().RunFor(Duration::Minutes(4));
-  } else {
-    cluster.sim().RunFor(Duration::Minutes(8));
-  }
+  cluster.sim().RunFor(Duration::Minutes(8));
 
   // Property 1: exactly-once delivery to every live member of the target.
   if (target_must_fail) {
@@ -215,7 +257,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1001, 1002, 1003, 1004, 1005),
                        ::testing::Values(FaultKind::kCrashMember, FaultKind::kCrashBystander,
                                          FaultKind::kSignal, FaultKind::kPartition,
-                                         FaultKind::kPartitionHeal, FaultKind::kMixed)),
+                                         FaultKind::kPartitionHeal, FaultKind::kChurnCreate,
+                                         FaultKind::kMixed)),
     [](const ::testing::TestParamInfo<std::tuple<uint64_t, FaultKind>>& param_info) {
       return FaultKindName(std::get<1>(param_info.param)) + "_seed" +
              std::to_string(std::get<0>(param_info.param));

@@ -6,6 +6,9 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 
 #include "runtime/live_runtime.h"
 #include "runtime/node.h"
@@ -102,8 +105,11 @@ class LiveFixture : public ::testing::Test {
   }
 
   void TearDown() override {
-    runtime_->RunOnLoop([&] { nodes_.clear(); });
+    // Stop (and join) the loop thread first: destroying nodes while queued
+    // deliveries can still fire is a use-after-free window. Post-stop, node
+    // destructors may still Cancel timers against the inert runtime.
     runtime_->Stop();
+    nodes_.clear();
   }
 
   std::unique_ptr<LiveRuntime> runtime_;
@@ -164,6 +170,65 @@ TEST_F(LiveFixture, CrashDetectionOverWallClock) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   EXPECT_EQ(fired.load(), 2) << "live runtime failed to deliver crash notifications";
+}
+
+// The ordered-map timer store: Cancel erases the queued event eagerly (one
+// erase through the seq index) and rejects ids that already ran — the same
+// accounting contract as the sim timer wheel.
+TEST(LiveRuntimeTimerTest, CancelIsEagerAndRejectsFiredIds) {
+  LiveRuntime::Config cfg;
+  cfg.seed = 3;
+  LiveRuntime runtime(cfg);
+  std::atomic<int> fired{0};
+
+  const TimerId cancelled = runtime.Schedule(Duration::Millis(80), [&fired] { fired += 100; });
+  const TimerId kept = runtime.Schedule(Duration::Millis(5), [&fired] { fired += 1; });
+  EXPECT_TRUE(runtime.Cancel(cancelled));
+  EXPECT_FALSE(runtime.Cancel(cancelled)) << "double cancel must report false";
+  EXPECT_FALSE(runtime.Cancel(TimerId())) << "invalid id must report false";
+
+  for (int spin = 0; spin < 200 && fired.load() < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_FALSE(runtime.Cancel(kept)) << "cancel of an already-fired id must report false";
+
+  // Past the cancelled timer's deadline: it must never fire.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(fired.load(), 1);
+  runtime.Stop();
+}
+
+// Events with the same delay fire in schedule order. Each Schedule call
+// samples the clock, so deadlines are non-decreasing (equal only when two
+// calls land on one clock tick); the (deadline, seq) key makes the order
+// schedule-FIFO in both cases — this pins the common path, while the seq
+// tiebreak for exactly-equal keys is guaranteed by the map key shape.
+TEST(LiveRuntimeTimerTest, SameDelayEventsFireInScheduleOrder) {
+  LiveRuntime::Config cfg;
+  cfg.seed = 4;
+  LiveRuntime runtime(cfg);
+  std::mutex mu;
+  std::string order;
+  for (const char* tag : {"a", "b", "c", "d"}) {
+    runtime.Schedule(Duration::Millis(30), [&mu, &order, tag] {
+      std::lock_guard<std::mutex> lock(mu);
+      order += tag;
+    });
+  }
+  for (int spin = 0; spin < 200; ++spin) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (order.size() == 4) {
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Join the loop thread before `mu`/`order` go out of scope: a starved
+  // callback must not fire into destroyed locals.
+  runtime.Stop();
+  EXPECT_EQ(order, "abcd");
 }
 
 }  // namespace
