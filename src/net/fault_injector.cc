@@ -1,5 +1,7 @@
 #include "net/fault_injector.h"
 
+#include <algorithm>
+
 namespace fuse {
 
 void FaultInjector::SetHostDown(HostId h, bool down) {
@@ -40,6 +42,60 @@ bool FaultInjector::IsBlocked(HostId a, HostId b) const {
     }
   }
   return false;
+}
+
+void FaultInjector::EncodeTo(Writer& w) const {
+  std::vector<uint64_t> downs;
+  downs.reserve(down_hosts_.size());
+  for (HostId h : down_hosts_) {
+    downs.push_back(h.value);
+  }
+  std::sort(downs.begin(), downs.end());
+  w.PutU32(static_cast<uint32_t>(downs.size()));
+  for (uint64_t v : downs) {
+    w.PutU64(v);
+  }
+
+  std::vector<uint64_t> pairs(blocked_pairs_.begin(), blocked_pairs_.end());
+  std::sort(pairs.begin(), pairs.end());
+  w.PutU32(static_cast<uint32_t>(pairs.size()));
+  for (uint64_t v : pairs) {
+    w.PutU64(v);
+  }
+
+  std::vector<std::pair<uint64_t, uint32_t>> parts;
+  parts.reserve(partition_of_.size());
+  for (const auto& [h, g] : partition_of_) {
+    parts.emplace_back(h.value, g);
+  }
+  std::sort(parts.begin(), parts.end());
+  w.PutU32(static_cast<uint32_t>(parts.size()));
+  for (const auto& [h, g] : parts) {
+    w.PutU64(h);
+    w.PutU32(g);
+  }
+  w.PutU32(next_partition_id_);
+}
+
+bool FaultInjector::DecodeFrom(Reader& r) {
+  down_hosts_.clear();
+  blocked_pairs_.clear();
+  partition_of_.clear();
+  const uint32_t ndown = r.GetU32();
+  for (uint32_t i = 0; i < ndown && r.ok(); ++i) {
+    down_hosts_.insert(HostId(r.GetU64()));
+  }
+  const uint32_t npairs = r.GetU32();
+  for (uint32_t i = 0; i < npairs && r.ok(); ++i) {
+    blocked_pairs_.insert(r.GetU64());
+  }
+  const uint32_t nparts = r.GetU32();
+  for (uint32_t i = 0; i < nparts && r.ok(); ++i) {
+    const uint64_t h = r.GetU64();
+    partition_of_[HostId(h)] = r.GetU32();
+  }
+  next_partition_id_ = r.GetU32();
+  return r.ok();
 }
 
 }  // namespace fuse

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/serialize.h"
 
 namespace fuse {
 
@@ -38,6 +39,16 @@ class FaultInjector {
   bool IsBlocked(HostId a, HostId b) const;
 
   size_t NumDownHosts() const { return down_hosts_.size(); }
+
+  // Wire form of the full rule set, for replicating the rules into worker
+  // processes (the process deployment evaluates them sender-side in each
+  // worker). Deterministic for a given state (entries are sorted); note the
+  // partition group ids themselves are mutation-history-dependent, so two
+  // injectors expressing the same reachability may still encode differently.
+  void EncodeTo(Writer& w) const;
+  // Replaces this rule set with the decoded one. Returns false (leaving the
+  // rules in an unspecified but valid state) on a malformed buffer.
+  bool DecodeFrom(Reader& r);
 
  private:
   static uint64_t PairKey(HostId a, HostId b) {

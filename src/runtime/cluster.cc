@@ -41,26 +41,80 @@ std::unique_ptr<Node> ClusterHarness::MakeNode(size_t i) {
                                 config_.fuse);
 }
 
+bool ClusterHarness::IsJoined(size_t i) {
+  return nodes_[i] != nullptr && nodes_[i]->overlay()->joined();
+}
+
+void ClusterHarness::CreateNodeInContext(size_t i) { nodes_[i] = MakeNode(i); }
+
+void ClusterHarness::JoinFirstInContext(size_t i) { nodes_[i]->overlay()->JoinAsFirst(); }
+
+void ClusterHarness::JoinInContext(size_t i, size_t boot,
+                                   std::function<void(const Status&)> done) {
+  nodes_[i]->overlay()->Join(hosts_[boot], std::move(done));
+}
+
+void ClusterHarness::StartMaintenanceInContext(size_t i) {
+  nodes_[i]->overlay()->StartMaintenance();
+}
+
+void ClusterHarness::LeafExchangeInContext(size_t i) {
+  nodes_[i]->overlay()->RunLeafExchangeOnce();
+}
+
+void ClusterHarness::RetireNodeInContext(size_t i) {
+  FUSE_CHECK(nodes_[i] != nullptr) << "bad crash target";
+  nodes_[i]->ShutdownAll();
+  graveyard_.push_back(std::move(nodes_[i]));
+}
+
+void ClusterHarness::ReviveNodeInContext(size_t i, size_t boot) {
+  FUSE_CHECK(nodes_[i] == nullptr) << "bad restart target";
+  nodes_[i] = MakeNode(i);
+  if (boot == i) {
+    nodes_[i]->overlay()->JoinAsFirst();
+    nodes_[i]->overlay()->StartMaintenance();
+    return;
+  }
+  nodes_[i]->overlay()->Join(hosts_[boot], [this, i](const Status& s) {
+    if (s.ok() && nodes_[i] != nullptr) {
+      nodes_[i]->overlay()->StartMaintenance();
+    }
+  });
+}
+
+void ClusterHarness::CreateGroupInContext(size_t root, std::vector<NodeRef> members,
+                                          std::function<void(const Status&, FuseId)> cb) {
+  nodes_[root]->fuse()->CreateGroup(std::move(members), std::move(cb));
+}
+
+void ClusterHarness::WatchGroupMemberInContext(size_t m, FuseId id,
+                                               std::function<void()> on_fire) {
+  nodes_[m]->fuse()->RegisterFailureHandler(id, [fire = std::move(on_fire)](FuseId) { fire(); });
+}
+
 void ClusterHarness::Build() {
-  FUSE_CHECK(nodes_.empty()) << "Build called twice";
+  FUSE_CHECK(nodes_.empty() && up_.empty()) << "Build called twice";
   const int n = config_.num_nodes;
   transports_.reserve(n);
   hosts_.reserve(n);
   for (int i = 0; i < n; ++i) {
     Transport* t = deploy_->CreateHost(static_cast<size_t>(i));
     transports_.push_back(t);
-    hosts_.push_back(t->local_host());
+    // Backends without in-process transports (worker OS processes) identify
+    // hosts positionally.
+    hosts_.push_back(t != nullptr ? t->local_host() : HostId(static_cast<uint64_t>(i)));
   }
 
   nodes_.resize(n);
   up_.assign(n, true);
   deploy_->Run([&] {
     for (int i = 0; i < n; ++i) {
-      nodes_[i] = MakeNode(i);
+      CreateNodeInContext(i);
     }
     // Node 0 seeds the overlay; the rest join in batches against random
     // already-joined nodes.
-    nodes_[0]->overlay()->JoinAsFirst();
+    JoinFirstInContext(0);
   });
   int joined_count = 1;
   int next = 1;
@@ -71,7 +125,7 @@ void ClusterHarness::Build() {
     deploy_->Run([&] {
       for (int i = next; i < batch_end; ++i) {
         const size_t boot = static_cast<size_t>(env().rng().UniformInt(0, joined_count - 1));
-        nodes_[i]->overlay()->Join(hosts_[boot], [&pending, &failures](const Status& s) {
+        JoinInContext(i, boot, [&pending, &failures](const Status& s) {
           --pending;
           if (!s.ok()) {
             ++failures;
@@ -99,7 +153,7 @@ void ClusterHarness::Build() {
 
   deploy_->Run([&] {
     for (int i = 0; i < n; ++i) {
-      nodes_[i]->overlay()->StartMaintenance();
+      StartMaintenanceInContext(i);
     }
   });
   // Converge the level-0 ring before handing the overlay to applications:
@@ -109,7 +163,7 @@ void ClusterHarness::Build() {
   for (int round = 0; round < 3; ++round) {
     deploy_->Run([&] {
       for (int i = 0; i < n; ++i) {
-        nodes_[i]->overlay()->RunLeafExchangeOnce();
+        LeafExchangeInContext(i);
       }
     });
     deploy_->AdvanceFor(config_.timing.settle_round);
@@ -121,11 +175,10 @@ void ClusterHarness::Crash(size_t i) {
 }
 
 void ClusterHarness::CrashInContext(size_t i) {
-  FUSE_CHECK(i < nodes_.size() && nodes_[i] != nullptr && up_[i]) << "bad crash target";
+  FUSE_CHECK(i < up_.size() && up_[i]) << "bad crash target";
   up_[i] = false;
   deploy_->CrashHost(hosts_[i]);
-  nodes_[i]->ShutdownAll();
-  graveyard_.push_back(std::move(nodes_[i]));
+  RetireNodeInContext(i);
 }
 
 void ClusterHarness::RestartAsync(size_t i) {
@@ -133,37 +186,25 @@ void ClusterHarness::RestartAsync(size_t i) {
 }
 
 void ClusterHarness::RestartAsyncInContext(size_t i) {
-  FUSE_CHECK(i < nodes_.size() && nodes_[i] == nullptr && !up_[i]) << "bad restart target";
+  FUSE_CHECK(i < up_.size() && !up_[i]) << "bad restart target";
   deploy_->RestartHost(hosts_[i]);
-  nodes_[i] = MakeNode(i);
   up_[i] = true;
   // Bootstrap from any live node other than ourselves.
   size_t boot = i;
   for (int tries = 0; tries < 64; ++tries) {
     const size_t candidate =
-        static_cast<size_t>(env().rng().UniformInt(0, static_cast<int64_t>(nodes_.size()) - 1));
-    if (candidate != i && IsUp(candidate) && nodes_[candidate]->overlay()->joined()) {
+        static_cast<size_t>(env().rng().UniformInt(0, static_cast<int64_t>(up_.size()) - 1));
+    if (candidate != i && IsUp(candidate) && IsJoined(candidate)) {
       boot = candidate;
       break;
     }
   }
-  if (boot == i) {
-    nodes_[i]->overlay()->JoinAsFirst();
-    nodes_[i]->overlay()->StartMaintenance();
-    return;
-  }
-  nodes_[i]->overlay()->Join(hosts_[boot], [this, i](const Status& s) {
-    if (s.ok() && nodes_[i] != nullptr) {
-      nodes_[i]->overlay()->StartMaintenance();
-    }
-  });
+  ReviveNodeInContext(i, boot);
 }
 
 void ClusterHarness::Restart(size_t i) {
   RestartAsync(i);
-  deploy_->AwaitCondition(
-      [this, i] { return nodes_[i] != nullptr && nodes_[i]->overlay()->joined(); },
-      config_.timing.restart_wait);
+  deploy_->AwaitCondition([this, i] { return IsJoined(i); }, config_.timing.restart_wait);
 }
 
 void ClusterHarness::StartChurn(size_t first, size_t count, Duration mean_uptime,
@@ -192,7 +233,17 @@ void ClusterHarness::ScheduleChurnDeath(size_t i) {
   const Duration life = Duration::SecondsF(env().rng().Exponential(churn_uptime_.ToSecondsF()));
   churn_timers_[i].Bind(env());
   churn_timers_[i].Start(life, [this, i] {
-    if (!churning_ || !IsUp(i)) {
+    if (!churning_) {
+      return;
+    }
+    if (!IsUp(i)) {
+      // A backend may report a reviving node as not-up-yet (a process worker
+      // mid-respawn). If the node is nominally up, keep the kill/restart
+      // cycle alive by drawing a fresh lifetime; only a truly crashed node
+      // (up_ false: its rebirth timer owns the next step) ends this chain.
+      if (up_[i]) {
+        ScheduleChurnDeath(i);
+      }
       return;
     }
     CrashInContext(i);
@@ -259,12 +310,15 @@ std::vector<NodeRef> ClusterHarness::RefsOf(const std::vector<size_t>& indices) 
   return refs;
 }
 
+// The two structural probes below read in-process overlay state, so they
+// only see nodes this process hosts (on a multi-process backend, remote
+// nodes are skipped rather than dereferenced).
 double ClusterHarness::AvgDistinctNeighbors() {
   size_t total = 0;
   size_t live = 0;
   deploy_->Run([&] {
     for (size_t i = 0; i < nodes_.size(); ++i) {
-      if (IsUp(i)) {
+      if (IsUp(i) && nodes_[i] != nullptr) {
         total += nodes_[i]->overlay()->NumDistinctNeighbors();
         ++live;
       }
@@ -279,7 +333,7 @@ int ClusterHarness::CountRingViolations() {
   deploy_->Run([&] {
     std::vector<size_t> live;
     for (size_t i = 0; i < nodes_.size(); ++i) {
-      if (IsUp(i)) {
+      if (IsUp(i) && nodes_[i] != nullptr) {
         live.push_back(i);
       }
     }

@@ -7,6 +7,13 @@
 // fault schedule written against the harness runs unchanged on either — the
 // paper's "identical code base except for the base messaging layer" claim,
 // now including the failure drivers, not just the protocol stack.
+//
+// Per-node operations (create, join, crash/retire, group create, failure
+// watches) are virtual *InContext hooks: the in-process backends implement
+// them with direct Node access, while ProcessCluster
+// (src/runtime/process_cluster.h) overrides them with control-protocol
+// commands to worker OS processes — which is what lets one scenario
+// definition drive nodes it cannot touch in memory.
 #ifndef FUSE_RUNTIME_CLUSTER_H_
 #define FUSE_RUNTIME_CLUSTER_H_
 
@@ -45,6 +52,8 @@ class Deployment {
 
   // Creates host `index`'s transport endpoint. Placement policy (e.g. router
   // co-location) is backend-specific. Called once per host, in index order.
+  // A backend whose hosts live in other processes (no in-process transport)
+  // returns nullptr; the harness then assigns HostId(index) directly.
   virtual Transport* CreateHost(size_t index) = 0;
 
   // Fabric-level fail-stop crash: connections break, handlers clear, and the
@@ -53,7 +62,11 @@ class Deployment {
   virtual void RestartHost(HostId h) = 0;
 
   // Runs `fn` against the backend's fault rules under the backend's locking
-  // discipline (none in the sim; the loop lock in the live runtime).
+  // discipline (none in the sim; the loop lock in the live runtime). In-process
+  // backends take effect by the time this returns; a multi-process backend
+  // replicates the rules to its workers asynchronously (effect within a
+  // propagation window, not on return) — schedules that need an exact fault
+  // edge must allow for that, as the shared scenarios' bounded waits do.
   virtual void ApplyFaults(const std::function<void(FaultInjector&)>& fn) = 0;
 
   // Executes `fn` in the protocol context and waits for it: a direct call in
@@ -109,10 +122,16 @@ class ClusterHarness {
   Environment& env() { return deploy_->env(); }
   const HarnessConfig& harness_config() const { return config_; }
 
-  size_t size() const { return nodes_.size(); }
+  size_t size() const { return up_.size(); }
+  // In-process backends only: direct access to the node stack. A
+  // multi-process backend has no in-memory nodes (use the *InContext
+  // vocabulary below instead).
   Node& node(size_t i) { return *nodes_[i]; }
   // Plain read; during live churn, sample it from the protocol context (Run).
-  bool IsUp(size_t i) const { return nodes_[i] != nullptr && up_[i]; }
+  virtual bool IsUp(size_t i) const { return nodes_[i] != nullptr && up_[i]; }
+  // True once node i's overlay join completed. Evaluate in the protocol
+  // context during churn.
+  virtual bool IsJoined(size_t i);
   static std::string NameOf(size_t i);
 
   // --- protocol-context execution and time control (see Deployment) ---
@@ -157,10 +176,36 @@ class ClusterHarness {
   // violations (0 = perfect ring).
   int CountRingViolations();
 
- private:
-  void ScheduleChurnDeath(size_t i);
-  void ScheduleChurnRebirth(size_t i);
-  std::unique_ptr<Node> MakeNode(size_t i);
+  // --- node-op vocabulary (run these from the protocol context) ---
+  // These are what the backend-parameterized scenario definitions
+  // (runtime/scenario.cc) are written against: issue a group create rooted at
+  // node `root`, and watch a member for failure notifications. The base
+  // implementations touch the in-process Node stack; ProcessCluster overrides
+  // them with worker commands.
+  virtual void CreateGroupInContext(size_t root, std::vector<NodeRef> members,
+                                    std::function<void(const Status&, FuseId)> cb);
+  // Registers a failure watch: `on_fire` runs in the protocol context every
+  // time node `m`'s handler for group `id` fires (so a duplicate notification
+  // is observable as a second invocation).
+  virtual void WatchGroupMemberInContext(size_t m, FuseId id, std::function<void()> on_fire);
+
+ protected:
+  // Per-node operations Build/Crash/Restart/churn route through; override all
+  // of these to drive nodes that live outside this process. Each runs in the
+  // protocol context.
+  virtual void CreateNodeInContext(size_t i);
+  virtual void JoinFirstInContext(size_t i);
+  virtual void JoinInContext(size_t i, size_t boot, std::function<void(const Status&)> done);
+  virtual void StartMaintenanceInContext(size_t i);
+  virtual void LeafExchangeInContext(size_t i);
+  // Crash aftermath once the fabric-level crash happened: quiesce and park
+  // the node object (in-process), or nothing (the process is gone).
+  virtual void RetireNodeInContext(size_t i);
+  // Restart aftermath once the fabric-level restart happened: bring up a
+  // fresh node incarnation and rejoin via `boot` (boot == i means the node
+  // must seed a fresh overlay: no other live joined node existed).
+  virtual void ReviveNodeInContext(size_t i, size_t boot);
+
   void CrashInContext(size_t i);
   void RestartAsyncInContext(size_t i);
 
@@ -170,6 +215,12 @@ class ClusterHarness {
   std::vector<HostId> hosts_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<bool> up_;
+
+ private:
+  void ScheduleChurnDeath(size_t i);
+  void ScheduleChurnRebirth(size_t i);
+  std::unique_ptr<Node> MakeNode(size_t i);
+
   // Crashed node objects are parked here until teardown so that in-flight
   // callbacks referencing them stay safe (they check their shutdown flags).
   std::vector<std::unique_ptr<Node>> graveyard_;

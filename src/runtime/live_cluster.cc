@@ -1,35 +1,32 @@
 #include "runtime/live_cluster.h"
 
-#include <chrono>
-#include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "runtime/loop_deployment.h"
 
 namespace fuse {
 
 namespace {
-// Wall-clock granularity of AwaitCondition polls. Each poll marshals the
-// predicate onto the loop thread, so this trades latency against loop load;
-// 2 ms is well under the scaled protocol constants (>= 50 ms).
-constexpr std::chrono::milliseconds kPollInterval{2};
+
+// The cluster-level seed is authoritative: it feeds the runtime's protocol
+// rng (node ids, join bootstraps, churn intervals, protocol jitter) and,
+// through a derived stream, the send path's loss/latency draws.
+LiveRuntime::Config RuntimeConfigFrom(const LiveClusterConfig& c) {
+  LiveRuntime::Config rc = c.runtime;
+  rc.seed = c.seed;
+  return rc;
+}
+
 }  // namespace
 
-// Wall-clock backend: one loop thread, marshalled protocol access, real
-// sleeps. Fault rules live inside LiveRuntime, consulted by its Send path
-// under the loop lock.
-class LiveDeployment : public Deployment {
+// Wall-clock in-process backend: one loop thread, marshalled protocol access,
+// real sleeps (all from LoopDeployment). Fault rules live inside LiveRuntime,
+// consulted by its Send path under the loop lock.
+class LiveDeployment : public LoopDeployment {
  public:
-  explicit LiveDeployment(LiveClusterConfig config) : config_(std::move(config)) {
-    // The cluster-level seed is authoritative: it feeds the runtime's rng,
-    // which is the single randomness source for the whole deployment (node
-    // ids, join bootstraps, churn intervals, message latency draws).
-    LiveRuntime::Config rc = config_.runtime;
-    rc.seed = config_.seed;
-    runtime_ = std::make_unique<LiveRuntime>(rc);
-  }
-
-  Environment& env() override { return *runtime_; }
+  explicit LiveDeployment(const LiveClusterConfig& config)
+      : LoopDeployment(RuntimeConfigFrom(config)) {}
 
   Transport* CreateHost(size_t index) override {
     (void)index;  // sequential ids; no placement policy in-process
@@ -45,47 +42,6 @@ class LiveDeployment : public Deployment {
   }
 
   void RestartHost(HostId h) override { runtime_->SetHostDown(h, false); }
-
-  void ApplyFaults(const std::function<void(FaultInjector&)>& fn) override {
-    runtime_->ApplyFaults(fn);
-  }
-
-  void Run(const std::function<void()>& fn) override { runtime_->RunOnLoop(fn); }
-
-  void AdvanceFor(Duration d) override {
-    FUSE_CHECK(!runtime_->OnLoopThread()) << "blocking wait on the loop thread";
-    std::this_thread::sleep_for(std::chrono::microseconds(d.ToMicros()));
-  }
-
-  bool AwaitCondition(const std::function<bool()>& pred, Duration bound) override {
-    FUSE_CHECK(!runtime_->OnLoopThread()) << "blocking wait on the loop thread";
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::microseconds(bound.ToMicros());
-    for (;;) {
-      bool ok = false;
-      runtime_->RunOnLoop([&] { ok = pred(); });
-      if (ok) {
-        return true;
-      }
-      if (std::chrono::steady_clock::now() >= deadline) {
-        return false;
-      }
-      std::this_thread::sleep_for(kPollInterval);
-    }
-  }
-
-  bool virtual_time() const override { return false; }
-
-  // Stops and joins the loop thread. Queued events are dropped, not run;
-  // Schedule/Cancel from node destructors still work against the (now
-  // inert) timer store.
-  void PrepareTeardown() override { runtime_->Stop(); }
-
-  LiveRuntime& runtime() { return *runtime_; }
-
- private:
-  LiveClusterConfig config_;
-  std::unique_ptr<LiveRuntime> runtime_;
 };
 
 LiveClusterConfig LiveClusterConfig::FastProtocol(int num_nodes, uint64_t seed) {

@@ -1,19 +1,57 @@
 #include "runtime/live_runtime.h"
 
-#include <future>
 #include <utility>
 
 #include "common/logging.h"
 
+#if FUSE_LIVE_RUNTIME_EPOLL
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+#endif
+
 namespace fuse {
 
 LiveRuntime::LiveRuntime(Config config)
-    : config_(config), rng_(config.seed), start_(std::chrono::steady_clock::now()) {
+    : config_(config),
+      rng_(config.seed),
+      send_rng_(config.seed * 0x9e3779b97f4a7c15ULL + 1),
+      start_(std::chrono::steady_clock::now()) {
+#if FUSE_LIVE_RUNTIME_EPOLL
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  FUSE_CHECK(epoll_fd_ >= 0) << "epoll_create1 failed";
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  FUSE_CHECK(wake_fd_ >= 0 && timer_fd_ >= 0) << "eventfd/timerfd_create failed";
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  FUSE_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  ev.data.fd = timer_fd_;
+  FUSE_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev) == 0);
+#endif
   thread_ = std::thread([this] { Loop(); });
   loop_id_ = thread_.get_id();
 }
 
-LiveRuntime::~LiveRuntime() { Stop(); }
+LiveRuntime::~LiveRuntime() {
+  Stop();
+#if FUSE_LIVE_RUNTIME_EPOLL
+  ::close(timer_fd_);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+#endif
+}
+
+void LiveRuntime::WakeLoop() {
+#if FUSE_LIVE_RUNTIME_EPOLL
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+#else
+  cv_.notify_all();
+#endif
+}
 
 void LiveRuntime::Stop() {
   {
@@ -23,9 +61,25 @@ void LiveRuntime::Stop() {
     }
     stopping_ = true;
   }
-  cv_.notify_all();
+  WakeLoop();
   if (thread_.joinable()) {
     thread_.join();
+  }
+  // The loop is gone: any RunOnLoop whose wrapper never started would block
+  // forever on its state. Release the callers with ran=false — the closures
+  // are dropped, not run (running protocol code after stop would race the
+  // teardown the caller is about to do).
+  std::unordered_map<uint64_t, std::shared_ptr<MarshalState>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(pending_marshals_);
+  }
+  for (auto& [seq, st] : orphans) {
+    {
+      std::lock_guard<std::mutex> sl(st->m);
+      st->done = true;  // ran stays false
+    }
+    st->cv.notify_all();
   }
 }
 
@@ -43,7 +97,7 @@ TimerId LiveRuntime::Schedule(Duration d, UniqueFunction fn) {
     seq = next_seq_++;
     by_seq_.emplace(seq, queue_.emplace(QueueKey(when, seq), std::move(fn)).first);
   }
-  cv_.notify_all();
+  WakeLoop();
   return TimerId(seq);
 }
 
@@ -61,22 +115,11 @@ bool LiveRuntime::Cancel(TimerId id) {
   return true;
 }
 
-void LiveRuntime::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    if (stopping_) {
-      return;
-    }
-    if (queue_.empty()) {
-      cv_.wait(lock);
-      continue;
-    }
+void LiveRuntime::RunDueTimers(std::unique_lock<std::mutex>& lock) {
+  while (!stopping_ && !queue_.empty()) {
     const auto it = queue_.begin();
-    const auto when = it->first.first;
-    const auto now = std::chrono::steady_clock::now();
-    if (when > now) {
-      cv_.wait_until(lock, when);
-      continue;
+    if (it->first.first > std::chrono::steady_clock::now()) {
+      return;
     }
     const uint64_t seq = it->first.second;
     UniqueFunction fn = std::move(it->second);
@@ -88,6 +131,118 @@ void LiveRuntime::Loop() {
   }
 }
 
+#if FUSE_LIVE_RUNTIME_EPOLL
+
+void LiveRuntime::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  struct epoll_event evs[64];
+  // The deadline the timerfd is currently armed for (min() = disarmed), so
+  // pure-I/O wakeups on the socket hot path skip the settime syscall.
+  auto armed = std::chrono::steady_clock::time_point::min();
+  while (true) {
+    RunDueTimers(lock);
+    if (stopping_) {
+      return;
+    }
+    // Arm the timerfd to the earliest deadline (disarm when idle); epoll then
+    // wakes this thread for whichever comes first: a due timer, an I/O event,
+    // or a cross-thread wakeup.
+    const auto next = queue_.empty() ? std::chrono::steady_clock::time_point::min()
+                                     : queue_.begin()->first.first;
+    if (next != armed) {
+      armed = next;
+      struct itimerspec its{};
+      if (!queue_.empty()) {
+        auto delta = next - std::chrono::steady_clock::now();
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count();
+        its.it_value.tv_sec = ns > 0 ? ns / 1000000000 : 0;
+        its.it_value.tv_nsec = ns > 0 ? ns % 1000000000 : 1;
+      }
+      ::timerfd_settime(timer_fd_, 0, &its, nullptr);
+    }
+    lock.unlock();
+    const int n = ::epoll_wait(epoll_fd_, evs, 64, -1);
+    for (int i = 0; i < n; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == wake_fd_ || fd == timer_fd_) {
+        uint64_t buf;
+        while (::read(fd, &buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      FdHandler handler;
+      {
+        std::lock_guard<std::mutex> hl(mu_);
+        const auto it = fd_handlers_.find(fd);
+        if (it != fd_handlers_.end()) {
+          handler = it->second;  // copy: the handler may Unwatch itself
+        }
+      }
+      if (handler) {
+        handler(evs[i].events);
+      }
+    }
+    lock.lock();
+  }
+}
+
+void LiveRuntime::WatchFd(int fd, uint32_t events, FdHandler handler) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd_handlers_[fd] = std::move(handler);
+  }
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  FUSE_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0) << "epoll add fd " << fd;
+}
+
+void LiveRuntime::ModifyFd(int fd, uint32_t events) {
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  FUSE_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0) << "epoll mod fd " << fd;
+}
+
+void LiveRuntime::UnwatchFd(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd_handlers_.erase(fd);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+#else  // !FUSE_LIVE_RUNTIME_EPOLL
+
+// Portable fallback: a pure timer loop on a condition variable. No I/O
+// multiplexing — the socket transport and process deployment are Linux-only.
+void LiveRuntime::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    RunDueTimers(lock);
+    if (stopping_) {
+      return;
+    }
+    if (queue_.empty()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, queue_.begin()->first.first);
+    }
+  }
+}
+
+void LiveRuntime::WatchFd(int, uint32_t, FdHandler) {
+  FUSE_CHECK(false) << "WatchFd requires the epoll loop (Linux)";
+}
+void LiveRuntime::ModifyFd(int, uint32_t) {
+  FUSE_CHECK(false) << "ModifyFd requires the epoll loop (Linux)";
+}
+void LiveRuntime::UnwatchFd(int) {
+  FUSE_CHECK(false) << "UnwatchFd requires the epoll loop (Linux)";
+}
+
+#endif  // FUSE_LIVE_RUNTIME_EPOLL
+
 LiveTransport* LiveRuntime::CreateHost() {
   std::lock_guard<std::mutex> lock(mu_);
   const HostId id(hosts_.size());
@@ -95,17 +250,42 @@ LiveTransport* LiveRuntime::CreateHost() {
   return hosts_.back().get();
 }
 
-void LiveRuntime::RunOnLoop(std::function<void()> fn) {
+bool LiveRuntime::RunOnLoop(std::function<void()> fn) {
   if (OnLoopThread()) {
     fn();
-    return;
+    return true;
   }
-  std::promise<void> done;
-  Schedule(Duration::Zero(), [&fn, &done] {
-    fn();
-    done.set_value();
-  });
-  done.get_future().wait();
+  auto st = std::make_shared<MarshalState>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return false;
+    }
+    const uint64_t seq = next_seq_++;
+    pending_marshals_.emplace(seq, st);
+    auto wrapper = [this, seq, st, fn = std::move(fn)] {
+      {
+        // De-register before running: once the wrapper has started, Stop()'s
+        // drain (which only runs after joining this thread) must not signal
+        // the state a second time.
+        std::lock_guard<std::mutex> l(mu_);
+        pending_marshals_.erase(seq);
+      }
+      fn();
+      {
+        std::lock_guard<std::mutex> sl(st->m);
+        st->done = true;
+        st->ran = true;
+      }
+      st->cv.notify_all();
+    };
+    const auto now = std::chrono::steady_clock::now();
+    by_seq_.emplace(seq, queue_.emplace(QueueKey(now, seq), std::move(wrapper)).first);
+  }
+  WakeLoop();
+  std::unique_lock<std::mutex> sl(st->m);
+  st->cv.wait(sl, [&] { return st->done; });
+  return st->ran;
 }
 
 void LiveRuntime::ApplyFaults(const std::function<void(FaultInjector&)>& fn) {
@@ -118,15 +298,20 @@ void LiveRuntime::SetHostDown(HostId h, bool down) {
 }
 
 void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
-  bool blocked;
+  bool lost;
+  Duration latency;
   {
+    // Send is callable from any thread, so its draws (and the metrics
+    // counters) sit in the same critical section as the fault-rule check —
+    // and come from send_rng_, never the loop thread's unlocked protocol
+    // stream (a lock on only one side of a shared generator would still
+    // race the ping-jitter draws protocol code makes through env().rng()).
     std::lock_guard<std::mutex> lock(mu_);
-    blocked = faults_.IsBlocked(msg.from, msg.to);
+    metrics_.IncMessage(msg.category, msg.WireSize());
+    lost = faults_.IsBlocked(msg.from, msg.to) || send_rng_.Bernoulli(config_.loss_probability);
+    latency = Duration::Micros(send_rng_.UniformInt(config_.min_latency.ToMicros(),
+                                                    config_.max_latency.ToMicros()));
   }
-  metrics_.IncMessage(msg.category, msg.WireSize());
-  const bool lost = blocked || rng_.Bernoulli(config_.loss_probability);
-  const Duration latency = Duration::Micros(rng_.UniformInt(
-      config_.min_latency.ToMicros(), config_.max_latency.ToMicros()));
   if (lost) {
     // Reliable-transport semantics: the sender eventually learns the send
     // failed (timeout compressed to a few latencies here).
@@ -137,28 +322,38 @@ void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
     return;
   }
   const HostId to = msg.to;
-  Schedule(latency, [this, msg = std::move(msg), to] {
+  // mutable: the inner Schedule below genuinely moves `cb` out.
+  Schedule(latency, [this, msg = std::move(msg), to, latency, cb = std::move(cb)]() mutable {
     Transport::Handler handler;
+    bool dropped = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       // Re-check the rules at delivery time: a partition or crash applied
       // while the message was in flight takes effect immediately, as it does
       // for the sim fabric's per-attempt checks.
       if (faults_.IsBlocked(msg.from, to)) {
-        return;
+        dropped = true;
+      } else {
+        const uint8_t slot = MsgTypeSlot(msg.type);
+        if (to.value < handlers_.size() && slot < handlers_[to.value].size()) {
+          handler = handlers_[to.value][slot];
+        }
       }
-      const uint8_t slot = MsgTypeSlot(msg.type);
-      if (to.value >= handlers_.size() || slot >= handlers_[to.value].size() ||
-          !handlers_[to.value][slot]) {
-        return;
-      }
-      handler = handlers_[to.value][slot];
     }
-    handler(msg);
+    if (!dropped && handler) {
+      handler(msg);
+    }
+    // The ack reports the delivery outcome: Ok only when the message reached
+    // the destination host (dispatched, or delivered-and-ignored for an
+    // unregistered type), Broken when the delivery-time fault re-check
+    // dropped it — matching the sim fabric's per-attempt semantics. The
+    // sender learns at ~2x latency (one round trip) either way.
+    if (cb) {
+      Schedule(latency, [cb = std::move(cb), dropped] {
+        cb(dropped ? Status::Broken("live: peer unreachable") : Status::Ok());
+      });
+    }
   });
-  if (cb) {
-    Schedule(latency * int64_t{2}, [cb = std::move(cb)] { cb(Status::Ok()); });
-  }
 }
 
 void LiveRuntime::RegisterHandler(HostId h, uint16_t type, Transport::Handler handler) {

@@ -1,16 +1,26 @@
-// LiveRuntime: a wall-clock, threaded messaging layer.
+// LiveRuntime: a wall-clock, threaded event loop and messaging layer.
 //
 // The paper ran the identical code base on a simulator and on a live cluster,
 // differing only in the base messaging layer (section 7). This runtime is our
 // live counterpart: the same Node stack (overlay + FUSE) driven by real time.
 // All protocol code runs on one event-loop thread; application threads
 // interact through blocking facades (e.g. CreateGroupBlocking) or by posting
-// closures. Message latency is configurable; delivery is in-process.
+// closures.
 //
-// Fault semantics are expressed through the same FaultInjector rule set the
-// simulator fabric consults (host down, blocked pairs, partitions), evaluated
-// under the loop lock on every send and delivery — so a fault schedule
-// written against FaultInjector runs unchanged on either backend.
+// On Linux the loop is epoll-based: one thread owns both timer firing (a
+// timerfd armed to the earliest pending deadline) and I/O readiness for file
+// descriptors registered via WatchFd — this is what lets the socket transport
+// (src/transport/socket_transport.h) and the process-deployment control
+// channels share the loop with protocol timers instead of spawning reader
+// threads. On other platforms a plain condition-variable timer loop is kept
+// (WatchFd is unavailable there).
+//
+// In-process message delivery (LiveTransport) is retained for the
+// single-process LiveCluster backend. Fault semantics are expressed through
+// the same FaultInjector rule set the simulator fabric consults (host down,
+// blocked pairs, partitions), evaluated under the loop lock on every send AND
+// at delivery time; the sender's callback reports what actually happened (Ok
+// only if the message was dispatched, Broken when a fault dropped it).
 #ifndef FUSE_RUNTIME_LIVE_RUNTIME_H_
 #define FUSE_RUNTIME_LIVE_RUNTIME_H_
 
@@ -27,6 +37,10 @@
 #include "sim/environment.h"
 #include "transport/transport.h"
 
+#if defined(__linux__)
+#define FUSE_LIVE_RUNTIME_EPOLL 1
+#endif
+
 namespace fuse {
 
 class LiveTransport;
@@ -40,10 +54,20 @@ class LiveRuntime : public Environment {
     double loss_probability = 0.0;
   };
 
+  // Handler for a watched file descriptor; runs on the loop thread with the
+  // EPOLL* event mask that fired. Spurious invocations are possible (an event
+  // already consumed by an earlier handler in the same epoll batch) — handlers
+  // must tolerate EAGAIN.
+  using FdHandler = std::function<void(uint32_t events)>;
+
   explicit LiveRuntime(Config config);
   ~LiveRuntime() override;
 
-  // Environment (callable from any thread; handlers run on the loop thread).
+  // Environment. Now/Schedule/Cancel are callable from any thread; handlers
+  // run on the loop thread. rng() is protocol state and must only be drawn
+  // from on the loop thread (Send, callable from any thread, draws from its
+  // own mutex-guarded generator instead — one lock on one side of a shared
+  // generator would not synchronize anything).
   TimePoint Now() const override;
   TimerId Schedule(Duration d, UniqueFunction fn) override;
   bool Cancel(TimerId id) override;
@@ -55,9 +79,21 @@ class LiveRuntime : public Environment {
 
   // Runs `fn` on the loop thread and waits for it to finish. Calling from the
   // loop thread itself runs `fn` inline (protocol callbacks may re-enter the
-  // runtime through higher-level drivers without deadlocking).
-  void RunOnLoop(std::function<void()> fn);
+  // runtime through higher-level drivers without deadlocking). Returns true
+  // iff `fn` ran: when Stop() wins the race, the pending closure is NOT run
+  // and the caller is released with false instead of blocking forever.
+  bool RunOnLoop(std::function<void()> fn);
   bool OnLoopThread() const { return std::this_thread::get_id() == loop_id_; }
+
+  // --- epoll I/O surface (Linux only; FUSE_CHECK-fails elsewhere) ---
+  // Registers `fd` with the loop's epoll set; `handler` runs on the loop
+  // thread whenever any event in `events` fires. Callable from any thread.
+  void WatchFd(int fd, uint32_t events, FdHandler handler);
+  // Changes the event mask of a watched fd.
+  void ModifyFd(int fd, uint32_t events);
+  // Removes `fd` from the epoll set. The caller still owns (and closes) the
+  // fd. Safe against already-queued events: they are dropped on dispatch.
+  void UnwatchFd(int fd);
 
   // Applies a mutation/query against the fault rules under the loop lock.
   // Sends racing with the mutation see either the old or the new rule set,
@@ -68,6 +104,10 @@ class LiveRuntime : public Environment {
   // Convenience shim over ApplyFaults.
   void SetHostDown(HostId h, bool down);
 
+  // Stops and joins the loop thread, then releases every thread still blocked
+  // in RunOnLoop (their closures are dropped, RunOnLoop returns false).
+  // Post-stop the runtime is inert: Schedule/Cancel still work against the
+  // (never again fired) timer store, RunOnLoop returns false immediately.
   void Stop();
 
   // --- used by LiveTransport ---
@@ -76,10 +116,26 @@ class LiveRuntime : public Environment {
   void UnregisterAllHandlers(HostId h);
 
  private:
+  // Blocking state for one cross-thread RunOnLoop call. Shared between the
+  // caller, the queued wrapper closure, and Stop()'s drain.
+  struct MarshalState {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool ran = false;
+  };
+
   void Loop();
+  // Wakes the loop out of its wait (eventfd write on the epoll path, condvar
+  // notify on the portable path).
+  void WakeLoop();
+  // Pops and runs every timer due at `now`; called with `lock` held, returns
+  // with it held.
+  void RunDueTimers(std::unique_lock<std::mutex>& lock);
 
   Config config_;
-  Rng rng_;
+  Rng rng_;       // protocol stream: loop-thread only (via Environment::rng())
+  Rng send_rng_;  // loss/latency draws in Send: guarded by mu_
   Metrics metrics_;
   std::chrono::steady_clock::time_point start_;
 
@@ -94,6 +150,9 @@ class LiveRuntime : public Environment {
   std::unordered_map<uint64_t, std::map<QueueKey, UniqueFunction>::iterator> by_seq_;
   uint64_t next_seq_ = 1;
   bool stopping_ = false;
+  // RunOnLoop calls whose wrapper has not started running yet, keyed by the
+  // wrapper's timer seq. Stop() signals the survivors after joining the loop.
+  std::unordered_map<uint64_t, std::shared_ptr<MarshalState>> pending_marshals_;
 
   std::vector<std::unique_ptr<LiveTransport>> hosts_;
   // Dense by HostId (CreateHost hands out sequential ids); each host's
@@ -102,6 +161,13 @@ class LiveRuntime : public Environment {
   // The full fault vocabulary (down hosts, blocked pairs, partitions),
   // shared with the sim fabric. Guarded by mu_.
   FaultInjector faults_;
+
+#if FUSE_LIVE_RUNTIME_EPOLL
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;   // eventfd: cross-thread loop wakeup
+  int timer_fd_ = -1;  // timerfd: earliest pending deadline
+  std::unordered_map<int, FdHandler> fd_handlers_;  // guarded by mu_
+#endif
 
   std::thread thread_;
   std::thread::id loop_id_;

@@ -1,0 +1,78 @@
+// LoopDeployment: the Deployment surface every wall-clock backend shares —
+// protocol access marshalled onto a LiveRuntime loop thread, real sleeps,
+// bounded polling waits, and loop-join teardown. LiveDeployment (in-process
+// message fabric) and ProcessDeployment (worker OS processes over the socket
+// transport) both derive from this and add only host management.
+#ifndef FUSE_RUNTIME_LOOP_DEPLOYMENT_H_
+#define FUSE_RUNTIME_LOOP_DEPLOYMENT_H_
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/cluster.h"
+#include "runtime/live_runtime.h"
+
+namespace fuse {
+
+class LoopDeployment : public Deployment {
+ public:
+  explicit LoopDeployment(LiveRuntime::Config config)
+      : runtime_(std::make_unique<LiveRuntime>(config)) {}
+
+  Environment& env() override { return *runtime_; }
+
+  void ApplyFaults(const std::function<void(FaultInjector&)>& fn) override {
+    runtime_->ApplyFaults(fn);
+  }
+
+  void Run(const std::function<void()>& fn) override { runtime_->RunOnLoop(fn); }
+
+  void AdvanceFor(Duration d) override {
+    FUSE_CHECK(!runtime_->OnLoopThread()) << "blocking wait on the loop thread";
+    std::this_thread::sleep_for(std::chrono::microseconds(d.ToMicros()));
+  }
+
+  bool AwaitCondition(const std::function<bool()>& pred, Duration bound) override {
+    FUSE_CHECK(!runtime_->OnLoopThread()) << "blocking wait on the loop thread";
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(bound.ToMicros());
+    for (;;) {
+      bool ok = false;
+      // A false return (Stop won the race) leaves ok false; the poll then
+      // runs out its bound instead of spinning on a dead loop.
+      runtime_->RunOnLoop([&] { ok = pred(); });
+      if (ok) {
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(kPollInterval);
+    }
+  }
+
+  bool virtual_time() const override { return false; }
+
+  // Stops and joins the loop thread. Queued events are dropped, not run;
+  // threads still blocked in RunOnLoop are released with "not run";
+  // Schedule/Cancel from node destructors still work against the (now
+  // inert) timer store.
+  void PrepareTeardown() override { runtime_->Stop(); }
+
+  LiveRuntime& runtime() { return *runtime_; }
+
+ protected:
+  // Wall-clock granularity of AwaitCondition polls. Each poll marshals the
+  // predicate onto the loop thread, so this trades latency against loop
+  // load; 2 ms is well under the scaled protocol constants (>= 50 ms).
+  static constexpr std::chrono::milliseconds kPollInterval{2};
+
+  std::unique_ptr<LiveRuntime> runtime_;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_RUNTIME_LOOP_DEPLOYMENT_H_

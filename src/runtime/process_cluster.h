@@ -1,0 +1,95 @@
+// ProcessCluster: the N-process deployment — every node runs in its own
+// worker OS process over the real socket transport
+// (src/transport/socket_transport.h), and the harness drives them through a
+// small control protocol instead of in-memory calls. Linux-only.
+//
+// Topology of one deployment:
+//
+//   test process (controller)
+//     ├── ProcessDeployment: LiveRuntime epoll loop owns the control
+//     │   channels (one unix-socketpair FramedSocket per worker) + the
+//     │   spawner channel + churn timers; fault rules are mirrored here and
+//     │   broadcast to workers on every ApplyFaults.
+//     ├── spawner (forked FIRST, while the controller is single-threaded):
+//     │   a flat loop that forks workers on request and hands their control
+//     │   fds back over SCM_RIGHTS — so mid-run restarts never fork from a
+//     │   threaded process.
+//     └── worker processes (forked by the spawner, one per node): each runs
+//         its own LiveRuntime epoll loop + SocketFabric listener and hosts
+//         one Node stack; node-to-node traffic is length-prefixed
+//         WireMessages over loopback TCP.
+//
+// Crash semantics are real: CrashHost sends SIGKILL — peers observe broken
+// TCP connections and refused dials, not a simulated flag. Restart forks a
+// fresh worker (new incarnation, new port, empty state), re-advertised to
+// every peer; the node rejoins the overlay through a live bootstrap exactly
+// like the paper's stable-storage-free recovery.
+//
+// ProcessCluster overrides ClusterHarness's per-node hooks with control
+// commands, so Build/Crash/Restart/churn and the shared scenario definitions
+// (runtime/scenario.cc: CrashMember, PartitionHeal, ChurnDuringCreate) run
+// unchanged across OS processes (ctest -L process-parity).
+#ifndef FUSE_RUNTIME_PROCESS_CLUSTER_H_
+#define FUSE_RUNTIME_PROCESS_CLUSTER_H_
+
+#if defined(__linux__)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.h"
+#include "transport/socket_transport.h"
+
+namespace fuse {
+
+struct ProcessClusterConfig {
+  int num_nodes = 8;
+  // Single seed: the controller's rng drives node numeric ids, join
+  // bootstraps and churn; each worker derives its own stream from
+  // (seed, worker, incarnation).
+  uint64_t seed = 1;
+  SkipNetConfig overlay;
+  FuseParams fuse;
+  int join_batch = 4;
+  HarnessTiming timing;
+  SocketFabric::Options socket;
+
+  // Scaled protocol constants (the LiveCluster FastProtocol settings) with
+  // wait bounds widened for process forks and real TCP handshakes.
+  static ProcessClusterConfig FastProtocol(int num_nodes, uint64_t seed);
+};
+
+class ProcessDeployment;
+
+class ProcessCluster : public ClusterHarness {
+ public:
+  explicit ProcessCluster(ProcessClusterConfig config);
+  ~ProcessCluster() override;
+
+  bool IsUp(size_t i) const override;
+  bool IsJoined(size_t i) override;
+
+  void CreateGroupInContext(size_t root, std::vector<NodeRef> members,
+                            std::function<void(const Status&, FuseId)> cb) override;
+  void WatchGroupMemberInContext(size_t m, FuseId id, std::function<void()> on_fire) override;
+
+ protected:
+  void CreateNodeInContext(size_t i) override;
+  void JoinFirstInContext(size_t i) override;
+  void JoinInContext(size_t i, size_t boot, std::function<void(const Status&)> done) override;
+  void StartMaintenanceInContext(size_t i) override;
+  void LeafExchangeInContext(size_t i) override;
+  void RetireNodeInContext(size_t i) override;
+  void ReviveNodeInContext(size_t i, size_t boot) override;
+
+ private:
+  ProcessDeployment* pd_;  // owned by the base class
+  // Join state mirrored controller-side from JoinResult events.
+  std::vector<bool> joined_;
+};
+
+}  // namespace fuse
+
+#endif  // defined(__linux__)
+#endif  // FUSE_RUNTIME_PROCESS_CLUSTER_H_

@@ -83,13 +83,12 @@ int CreateGroupBounded(ClusterHarness& cluster, Group& g, Duration bound) {
   };
   auto st = std::make_shared<State>();
   cluster.Run([&] {
-    cluster.node(g.members[0])
-        .fuse()
-        ->CreateGroup(cluster.RefsOf(g.members), [st](const Status& s, FuseId id) {
-          st->status = s;
-          st->id = id;
-          st->done = true;
-        });
+    cluster.CreateGroupInContext(g.members[0], cluster.RefsOf(g.members),
+                                 [st](const Status& s, FuseId id) {
+                                   st->status = s;
+                                   st->id = id;
+                                   st->done = true;
+                                 });
   });
   if (!cluster.Await([st] { return st->done; }, bound)) {
     return -1;
@@ -108,7 +107,7 @@ int CreateGroupBounded(ClusterHarness& cluster, Group& g, Duration bound) {
 void WatchGroup(ClusterHarness& cluster, const std::shared_ptr<Group>& g) {
   cluster.Run([&] {
     for (size_t m : g->members) {
-      cluster.node(m).fuse()->RegisterFailureHandler(g->id, [g, m](FuseId) { g->fired[m]++; });
+      cluster.WatchGroupMemberInContext(m, g->id, [g, m] { g->fired[m]++; });
     }
   });
 }
@@ -203,12 +202,12 @@ ScenarioResult RunAgreementScenario(ClusterHarness& cluster, ScenarioKind kind,
     case ScenarioKind::kPartitionHeal: {
       // Split the group: at least one member on each side (members all on
       // one side of a partition can still talk — that is not a failure).
+      // Hosts come from the harness's stable ref table, not live node state,
+      // so this works identically when the nodes are remote processes.
       std::vector<HostId> side;
-      cluster.Run([&] {
-        for (size_t k = 0; k < std::max<size_t>(1, target.members.size() / 2); ++k) {
-          side.push_back(cluster.node(target.members[k]).host());
-        }
-      });
+      for (size_t k = 0; k < std::max<size_t>(1, target.members.size() / 2); ++k) {
+        side.push_back(cluster.RefOf(target.members[k]).host);
+      }
       cluster.ApplyFaults([&side](FaultInjector& f) { f.PartitionHosts(side); });
       break;
     }

@@ -1,0 +1,512 @@
+#include "transport/socket_transport.h"
+
+#if defined(__linux__)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace fuse {
+
+namespace {
+
+// Frame kinds inside the length prefix.
+constexpr uint8_t kFrameData = 1;
+constexpr uint8_t kFrameAck = 2;   // delivered (dispatched or ignored) at dest
+constexpr uint8_t kFrameNack = 3;  // refused: fault rules / not local here
+
+// A frame larger than this is a corrupted stream, not a message.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+int SetNonBlockingSocket() {
+  return ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+}
+
+}  // namespace
+
+// --- FramedSocket ---------------------------------------------------------
+
+void FramedSocket::Adopt(int fd, bool connecting) {
+  FUSE_CHECK(fd_ < 0) << "FramedSocket already has an fd";
+  fd_ = fd;
+  connecting_ = connecting;
+  mask_ = connecting ? static_cast<uint32_t>(EPOLLIN | EPOLLOUT)
+                     : static_cast<uint32_t>(EPOLLIN);
+  rt_->WatchFd(fd_, mask_, [this](uint32_t ev) { OnEvents(ev); });
+}
+
+void FramedSocket::CloseFd() {
+  if (fd_ >= 0) {
+    rt_->UnwatchFd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FramedSocket::UpdateMask() {
+  const uint32_t want =
+      EPOLLIN | (out_head_ < out_.size() ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  if (want != mask_ && fd_ >= 0) {
+    mask_ = want;
+    rt_->ModifyFd(fd_, want);
+  }
+}
+
+void FramedSocket::SendFrame(const uint8_t* data, size_t len) {
+  if (!open()) {
+    return;
+  }
+  const uint32_t n = static_cast<uint32_t>(len);
+  const size_t at = out_.size();
+  out_.resize(at + 4 + len);
+  std::memcpy(out_.data() + at, &n, 4);
+  std::memcpy(out_.data() + at + 4, data, len);
+  TryFlush();
+  UpdateMask();
+}
+
+void FramedSocket::TryFlush() {
+  while (out_head_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_head_, out_.size() - out_head_,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      out_head_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Under sustained backpressure, compact the flushed prefix so the
+      // buffer is bounded by the unsent backlog, not total traffic.
+      if (out_head_ >= 65536) {
+        out_.erase(out_.begin(), out_.begin() + static_cast<ptrdiff_t>(out_head_));
+        out_head_ = 0;
+      }
+      return;
+    }
+    // A hard write error surfaces as EPOLLERR/HUP on the next wait; the
+    // read path reports the close exactly once.
+    return;
+  }
+  out_.clear();
+  out_head_ = 0;
+}
+
+void FramedSocket::OnEvents(uint32_t events) {
+  if (fd_ < 0) {
+    return;  // spurious: already closed within this epoll batch
+  }
+  if (connecting_) {
+    if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) == 0) {
+      return;  // spurious wakeup: the connect has not resolved yet
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    const bool ok = err == 0 && (events & (EPOLLERR | EPOLLHUP)) == 0;
+    connecting_ = false;
+    if (!ok) {
+      CloseFd();
+    } else {
+      UpdateMask();
+    }
+    // Tail position: the handler may retry with a fresh Adopt or destroy us.
+    if (auto fn = on_connect_) {
+      fn(ok);
+    }
+    return;
+  }
+  if (events & EPOLLOUT) {
+    TryFlush();
+    UpdateMask();
+  }
+  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+    uint8_t buf[65536];
+    bool closed = false;
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        in_.insert(in_.end(), buf, buf + n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      // EOF or hard error. Complete frames already buffered are still
+      // delivered below before the close surfaces — a peer's final acks
+      // and control frames must not vanish with its connection.
+      closed = true;
+      break;
+    }
+    // Deliver complete frames. on_frame_ must not destroy this socket (the
+    // fabric never tears a connection down from its own inbound frame).
+    while (in_.size() - in_head_ >= 4) {
+      uint32_t frame_len;
+      std::memcpy(&frame_len, in_.data() + in_head_, 4);
+      if (frame_len > kMaxFrameBytes) {
+        CloseFd();
+        if (auto fn = on_close_) {
+          fn();
+        }
+        return;
+      }
+      if (in_.size() - in_head_ < 4 + static_cast<size_t>(frame_len)) {
+        break;
+      }
+      const uint8_t* body = in_.data() + in_head_ + 4;
+      in_head_ += 4 + frame_len;
+      if (on_frame_) {
+        on_frame_(body, frame_len);
+      }
+      if (fd_ < 0) {
+        return;  // a frame handler closed us (corrupt stream)
+      }
+    }
+    if (in_head_ == in_.size()) {
+      in_.clear();
+      in_head_ = 0;
+    } else if (in_head_ >= 65536 && in_head_ * 2 >= in_.size()) {
+      in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(in_head_));
+      in_head_ = 0;
+    }
+    if (closed) {
+      // Tail position: the handler may destroy this object.
+      CloseFd();
+      if (auto fn = on_close_) {
+        fn();
+      }
+      return;
+    }
+  }
+}
+
+// --- SocketTransport ------------------------------------------------------
+
+void SocketTransport::Send(WireMessage msg, SendCallback cb) {
+  msg.from = host_;
+  fabric_->SendFrom(host_, std::move(msg), std::move(cb));
+}
+
+void SocketTransport::RegisterHandler(uint16_t type, Handler handler) {
+  fabric_->RegisterHandler(host_, type, std::move(handler));
+}
+
+void SocketTransport::UnregisterAllHandlers() { fabric_->UnregisterAllHandlers(host_); }
+
+Environment& SocketTransport::env() { return fabric_->env(); }
+
+// --- SocketFabric ---------------------------------------------------------
+
+SocketFabric::SocketFabric(LiveRuntime* rt) : SocketFabric(rt, Options()) {}
+
+SocketFabric::SocketFabric(LiveRuntime* rt, Options opts) : rt_(rt), opts_(opts) {}
+
+SocketFabric::~SocketFabric() {
+  // The runtime may already be stopped (Unwatch on a dead loop is fine: the
+  // fd table is just a map), but close everything explicitly so worker
+  // teardown does not leak fds into forked siblings.
+  if (listen_fd_ >= 0) {
+    rt_->UnwatchFd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+uint16_t SocketFabric::Listen() {
+  FUSE_CHECK(listen_fd_ < 0) << "Listen called twice";
+  listen_fd_ = SetNonBlockingSocket();
+  FUSE_CHECK(listen_fd_ >= 0) << "socket() failed: " << std::strerror(errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  FUSE_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      << "bind(127.0.0.1:0) failed: " << std::strerror(errno);
+  FUSE_CHECK(::listen(listen_fd_, 128) == 0) << "listen failed: " << std::strerror(errno);
+  socklen_t len = sizeof(addr);
+  FUSE_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  listen_port_ = ntohs(addr.sin_port);
+  rt_->WatchFd(listen_fd_, EPOLLIN, [this](uint32_t ev) { OnAccept(ev); });
+  return listen_port_;
+}
+
+void SocketFabric::OnAccept(uint32_t) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN or a transient error; epoll re-arms us
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Reuse a closed slot so long churn runs do not grow the vector.
+    size_t slot = inbound_.size();
+    for (size_t i = 0; i < inbound_.size(); ++i) {
+      if (inbound_[i] == nullptr) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == inbound_.size()) {
+      inbound_.emplace_back();
+    }
+    inbound_[slot] = std::make_unique<FramedSocket>(rt_);
+    FramedSocket* s = inbound_[slot].get();
+    s->set_on_frame([this, slot](const uint8_t* d, size_t l) { OnInboundFrame(slot, d, l); });
+    s->set_on_close([this, slot] { inbound_[slot] = nullptr; });
+    s->Adopt(fd, /*connecting=*/false);
+  }
+}
+
+SocketTransport* SocketFabric::TransportFor(HostId local) {
+  auto& t = locals_[local.value];
+  if (t == nullptr) {
+    t = std::make_unique<SocketTransport>(this, local);
+  }
+  return t.get();
+}
+
+void SocketFabric::SetPeerAddr(HostId h, uint16_t port) { peer_port_[h.value] = port; }
+
+void SocketFabric::RegisterHandler(HostId h, uint16_t type, Transport::Handler handler) {
+  const uint8_t slot = MsgTypeSlot(type);
+  FUSE_CHECK(slot != 0) << "unknown message type " << type
+                        << " (add it to msgtype::kAllTypes)";
+  auto& table = handlers_[h.value];
+  if (table.size() < msgtype::kNumSlots) {
+    table.resize(msgtype::kNumSlots);
+  }
+  table[slot] = std::move(handler);
+}
+
+void SocketFabric::UnregisterAllHandlers(HostId h) { handlers_.erase(h.value); }
+
+void SocketFabric::FailCb(Transport::SendCallback cb, const char* why) {
+  if (!cb) {
+    return;
+  }
+  // Deferred, so callbacks never run inside the Send/Break call stack that
+  // is mutating connection state.
+  rt_->Schedule(Duration::Zero(),
+                [cb = std::move(cb), why] { cb(Status::Broken(why)); });
+}
+
+bool SocketFabric::DispatchLocal(const WireMessage& msg) {
+  const auto it = handlers_.find(msg.to.value);
+  if (it == handlers_.end()) {
+    return locals_.contains(msg.to.value);  // delivered-and-ignored is still a delivery
+  }
+  const uint8_t slot = MsgTypeSlot(msg.type);
+  if (slot < it->second.size() && it->second[slot]) {
+    it->second[slot](msg);
+  }
+  return true;
+}
+
+void SocketFabric::SendFrom(HostId from, WireMessage msg, Transport::SendCallback cb) {
+  rt_->metrics().IncMessage(msg.category, msg.WireSize());
+  if (faults_.IsBlocked(from, msg.to)) {
+    if (cb) {
+      rt_->Schedule(opts_.blocked_fail_delay,
+                    [cb = std::move(cb)] { cb(Status::Broken("socket: fault rules")); });
+    }
+    return;
+  }
+  if (IsLocal(msg.to)) {
+    // Same-process destination: dispatch through the loop (async like the
+    // wire) and ack from the delivery outcome, mirroring the remote path.
+    rt_->Schedule(Duration::Zero(), [this, msg = std::move(msg), cb = std::move(cb)] {
+      bool delivered = false;
+      if (!faults_.IsBlocked(msg.from, msg.to)) {
+        delivered = DispatchLocal(msg);
+      }
+      if (cb) {
+        cb(delivered ? Status::Ok() : Status::Broken("socket: fault rules"));
+      }
+    });
+    return;
+  }
+
+  auto it = conns_.find(msg.to.value);
+  if (it == conns_.end()) {
+    if (!peer_port_.contains(msg.to.value)) {
+      FailCb(std::move(cb), "socket: no address for destination");
+      return;
+    }
+    auto conn = std::make_unique<OutConn>(rt_);
+    conn->to = msg.to;
+    OutConn* c = conn.get();
+    it = conns_.emplace(msg.to.value, std::move(conn)).first;
+    c->sock.set_on_frame([this, c](const uint8_t* d, size_t l) { OnPeerFrame(c, d, l); });
+    c->sock.set_on_close([this, to = msg.to] { BreakConn(to, "socket: connection broke"); });
+    c->sock.set_on_connect([this, to = msg.to](bool ok) { OnConnectResolved(to, ok); });
+    StartConnect(c);
+    if (conns_.find(msg.to.value) == conns_.end()) {
+      // The dial failed synchronously past its budget and broke the conn.
+      FailCb(std::move(cb), "socket: connect failed");
+      return;
+    }
+  }
+  OutConn* c = it->second.get();
+
+  const uint64_t seq = c->next_seq++;
+  Writer w;
+  w.PutU8(kFrameData);
+  w.PutU64(seq);
+  w.PutU64(msg.from.value);
+  w.PutU64(msg.to.value);
+  w.PutU16(msg.type);
+  w.PutU8(static_cast<uint8_t>(msg.category));
+  w.PutBytes(msg.payload.data(), msg.payload.size());
+  if (cb) {
+    c->awaiting.emplace(seq, std::move(cb));
+  }
+  if (c->sock.open()) {
+    c->sock.SendFrame(w.bytes().data(), w.bytes().size());
+  } else {
+    c->queued.push_back(w.Take());
+  }
+}
+
+void SocketFabric::StartConnect(OutConn* c) {
+  const auto pit = peer_port_.find(c->to.value);
+  if (pit == peer_port_.end()) {
+    BreakConn(c->to, "socket: no address for destination");
+    return;
+  }
+  c->dialed_port = pit->second;
+  const int fd = SetNonBlockingSocket();
+  if (fd < 0) {
+    BreakConn(c->to, "socket: socket() failed");
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(c->dialed_port);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    c->sock.Adopt(fd, /*connecting=*/false);
+    OnConnectResolved(c->to, true);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    c->sock.Adopt(fd, /*connecting=*/true);
+    return;
+  }
+  ::close(fd);
+  OnConnectResolved(c->to, false);
+}
+
+void SocketFabric::OnConnectResolved(HostId to, bool ok) {
+  const auto it = conns_.find(to.value);
+  if (it == conns_.end()) {
+    return;
+  }
+  OutConn* c = it->second.get();
+  if (ok) {
+    c->attempt = 0;
+    for (auto& frame : c->queued) {
+      c->sock.SendFrame(frame.data(), frame.size());
+    }
+    c->queued.clear();
+    return;
+  }
+  if (++c->attempt >= opts_.max_connect_attempts) {
+    BreakConn(to, "socket: peer refused connection");
+    return;
+  }
+  // Exponentialish backoff; the port is re-resolved on each retry so a
+  // restarted peer's fresh advertisement takes effect mid-dial.
+  c->retry.Bind(*rt_);
+  c->retry.Start(opts_.connect_retry_backoff * int64_t{c->attempt}, [this, to] {
+    const auto rit = conns_.find(to.value);
+    if (rit != conns_.end()) {
+      StartConnect(rit->second.get());
+    }
+  });
+}
+
+void SocketFabric::OnPeerFrame(OutConn* c, const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  const uint8_t kind = r.GetU8();
+  const uint64_t seq = r.GetU64();
+  if (!r.ok() || (kind != kFrameAck && kind != kFrameNack)) {
+    return;  // not a recognized control frame; ignore
+  }
+  const auto it = c->awaiting.find(seq);
+  if (it == c->awaiting.end()) {
+    return;  // callback-less send, or already failed by a break
+  }
+  Transport::SendCallback cb = std::move(it->second);
+  c->awaiting.erase(it);
+  if (kind == kFrameAck) {
+    cb(Status::Ok());
+  } else {
+    cb(Status::Broken("socket: delivery refused"));
+  }
+}
+
+void SocketFabric::BreakConn(HostId to, const char* why) {
+  const auto it = conns_.find(to.value);
+  if (it == conns_.end()) {
+    return;
+  }
+  // Detach the connection first: the failure callbacks below may re-enter
+  // Send (protocol retries), which must dial a fresh connection.
+  std::unique_ptr<OutConn> c = std::move(it->second);
+  conns_.erase(it);
+  c->retry.Cancel();
+  c->sock.CloseFd();
+  for (auto& [seq, cb] : c->awaiting) {
+    FailCb(std::move(cb), why);
+  }
+  c->awaiting.clear();
+  c->queued.clear();
+}
+
+void SocketFabric::OnInboundFrame(size_t conn_index, const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  const uint8_t kind = r.GetU8();
+  if (kind != kFrameData) {
+    return;
+  }
+  const uint64_t seq = r.GetU64();
+  WireMessage msg;
+  msg.from = HostId(r.GetU64());
+  msg.to = HostId(r.GetU64());
+  msg.type = r.GetU16();
+  msg.category = static_cast<MsgCategory>(r.GetU8());
+  if (!r.ok()) {
+    return;
+  }
+  const size_t payload_len = r.remaining();
+  msg.payload = PayloadBuf(data + (len - payload_len), payload_len);
+
+  // Delivery-time rule check (receiver side): a partition applied while the
+  // frame was in flight refuses it here, and the sender hears kBroken — the
+  // same per-attempt semantics as the in-process runtimes.
+  uint8_t verdict = kFrameAck;
+  if (faults_.IsBlocked(msg.from, msg.to) || !DispatchLocal(msg)) {
+    verdict = kFrameNack;
+  }
+  FramedSocket* s = inbound_[conn_index].get();
+  if (s != nullptr && s->open()) {
+    Writer w;
+    w.PutU8(verdict);
+    w.PutU64(seq);
+    s->SendFrame(w.bytes().data(), w.bytes().size());
+  }
+}
+
+}  // namespace fuse
+
+#endif  // defined(__linux__)

@@ -1,0 +1,207 @@
+// SocketFabric: a real TCP messaging layer for multi-process deployments.
+//
+// Where SimFabric models TCP analytically and LiveRuntime delivers in
+// process, this fabric moves WireMessages between OS processes over
+// length-prefixed frames on nonblocking loopback TCP sockets, driven by the
+// owning LiveRuntime's epoll loop (one thread owns both I/O readiness and
+// timer firing — no reader threads). Linux-only.
+//
+// Semantics match the Transport contract the sim fabric implements
+// (transport.h / tcp_model.h): per-destination connections are dialed lazily
+// with bounded nonblocking connect retries; frames carry an application-level
+// sequence number and the receiver acknowledges each message after
+// dispatching it, so the sender's callback reports Ok only once the message
+// actually reached the destination process; when the connection breaks — the
+// peer process died (SIGKILL), refused the connection past the retry budget,
+// or reset mid-stream — every queued and unacknowledged send fails with
+// kBroken ("TCP sockets will break under such adverse network conditions",
+// paper section 7.6). In-order delivery per connection is inherited from TCP.
+//
+// Fault rules (the same FaultInjector vocabulary the other fabrics consult)
+// are evaluated sender-side on every send AND receiver-side on every
+// delivery: a message in flight across a partition boundary is refused by the
+// receiver (kBroken at the sender), mirroring the delivery-time re-check of
+// the in-process runtimes.
+#ifndef FUSE_TRANSPORT_SOCKET_TRANSPORT_H_
+#define FUSE_TRANSPORT_SOCKET_TRANSPORT_H_
+
+#if defined(__linux__)
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fault_injector.h"
+#include "runtime/live_runtime.h"
+#include "sim/timer.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+class SocketFabric;
+
+// A nonblocking stream socket carrying [u32 length]-prefixed frames, driven
+// by a LiveRuntime epoll loop. Used for the TCP data connections and for the
+// process-deployment control channels (unix socketpairs). All methods must
+// run on the loop thread.
+class FramedSocket {
+ public:
+  // `on_frame` receives each complete frame body. `on_close` fires once on
+  // EOF/error (tail position: it may destroy this FramedSocket). `on_connect`
+  // resolves a nonblocking connect; on failure the socket is already closed
+  // (the handler may retry with a fresh Adopt or destroy the object).
+  using FrameHandler = std::function<void(const uint8_t* data, size_t len)>;
+
+  explicit FramedSocket(LiveRuntime* rt) : rt_(rt) {}
+  ~FramedSocket() { CloseFd(); }
+
+  FramedSocket(const FramedSocket&) = delete;
+  FramedSocket& operator=(const FramedSocket&) = delete;
+
+  void set_on_frame(FrameHandler fn) { on_frame_ = std::move(fn); }
+  void set_on_close(std::function<void()> fn) { on_close_ = std::move(fn); }
+  void set_on_connect(std::function<void(bool ok)> fn) { on_connect_ = std::move(fn); }
+
+  // Takes ownership of `fd` (nonblocking) and registers it with the loop.
+  // `connecting` marks an in-flight nonblocking connect().
+  void Adopt(int fd, bool connecting);
+
+  // Queues one frame ([length] prefix added here) and flushes what the socket
+  // accepts. Silently drops when not adopted/open yet — callers queue frames
+  // themselves until on_connect(true).
+  void SendFrame(const uint8_t* data, size_t len);
+
+  bool open() const { return fd_ >= 0 && !connecting_; }
+  int fd() const { return fd_; }
+
+  // Unwatches and closes. Safe to call repeatedly.
+  void CloseFd();
+
+ private:
+  void OnEvents(uint32_t events);
+  void TryFlush();
+  void UpdateMask();
+
+  LiveRuntime* rt_;
+  int fd_ = -1;
+  bool connecting_ = false;
+  uint32_t mask_ = 0;
+  std::vector<uint8_t> in_;
+  size_t in_head_ = 0;
+  std::vector<uint8_t> out_;
+  size_t out_head_ = 0;
+  FrameHandler on_frame_;
+  std::function<void()> on_close_;
+  std::function<void(bool)> on_connect_;
+};
+
+// Per-host Transport view onto the socket fabric.
+class SocketTransport : public Transport {
+ public:
+  SocketTransport(SocketFabric* fabric, HostId host) : fabric_(fabric), host_(host) {}
+
+  void Send(WireMessage msg, SendCallback cb) override;
+  void RegisterHandler(uint16_t type, Handler handler) override;
+  void UnregisterAllHandlers() override;
+  HostId local_host() const override { return host_; }
+  Environment& env() override;
+
+ private:
+  SocketFabric* fabric_;
+  HostId host_;
+};
+
+class SocketFabric {
+ public:
+  struct Options {
+    // Nonblocking connect retry budget: a freshly killed peer refuses
+    // connections until its restarted incarnation advertises a new port, so
+    // a bounded dial loop converts "process gone" into kBroken in
+    // attempts * backoff time.
+    int max_connect_attempts = 6;
+    Duration connect_retry_backoff = Duration::Millis(20);
+    // Sender-side fault-rule refusals report kBroken after this much delay
+    // (a compressed stand-in for the broken-socket detection latency).
+    Duration blocked_fail_delay = Duration::Millis(2);
+  };
+
+  explicit SocketFabric(LiveRuntime* rt);  // default options
+  SocketFabric(LiveRuntime* rt, Options opts);
+  ~SocketFabric();
+
+  SocketFabric(const SocketFabric&) = delete;
+  SocketFabric& operator=(const SocketFabric&) = delete;
+
+  // Binds a loopback listener on an ephemeral port and starts accepting.
+  // Returns the port (advertised to peers out of band by the deployment).
+  uint16_t Listen();
+
+  // Address map maintenance: host -> loopback TCP port. Re-advertising a
+  // host (a restarted incarnation on a fresh port) retargets future dials;
+  // an in-progress connection to the stale port runs out its retry budget.
+  void SetPeerAddr(HostId h, uint16_t port);
+
+  // Creates (or returns) the transport endpoint for a host local to this
+  // process.
+  SocketTransport* TransportFor(HostId local);
+  bool IsLocal(HostId h) const { return locals_.contains(h.value); }
+
+  // The fabric's fault-rule mirror, evaluated sender-side on every send and
+  // receiver-side on every delivery.
+  FaultInjector& faults() { return faults_; }
+
+  Environment& env() { return *rt_; }
+
+  // --- used by SocketTransport ---
+  void SendFrom(HostId from, WireMessage msg, Transport::SendCallback cb);
+  void RegisterHandler(HostId h, uint16_t type, Transport::Handler handler);
+  void UnregisterAllHandlers(HostId h);
+
+ private:
+  struct OutConn {
+    explicit OutConn(LiveRuntime* rt) : sock(rt) {}
+    HostId to;
+    uint16_t dialed_port = 0;
+    int attempt = 0;
+    FramedSocket sock;
+    Timer retry;
+    uint64_t next_seq = 1;
+    // Frames not yet handed to an open socket (dial or retry in progress).
+    std::vector<std::vector<uint8_t>> queued;
+    // seq -> sender callback, fired on the receiver's ack/nack.
+    std::unordered_map<uint64_t, Transport::SendCallback> awaiting;
+  };
+
+  void OnAccept(uint32_t events);
+  void StartConnect(OutConn* c);
+  void OnConnectResolved(HostId to, bool ok);
+  void OnPeerFrame(OutConn* c, const uint8_t* data, size_t len);
+  void OnInboundFrame(size_t conn_index, const uint8_t* data, size_t len);
+  // Fails every queued/unacknowledged send on `c` with kBroken and removes
+  // the connection (a later send dials fresh — and picks up a restarted
+  // peer's new port).
+  void BreakConn(HostId to, const char* why);
+  // Dispatches to the local handler table; true iff the destination host is
+  // local (handler registered or not — delivered-and-ignored still acks).
+  bool DispatchLocal(const WireMessage& msg);
+  void FailCb(Transport::SendCallback cb, const char* why);
+
+  LiveRuntime* rt_;
+  Options opts_;
+  FaultInjector faults_;
+  int listen_fd_ = -1;
+  uint16_t listen_port_ = 0;
+  std::unordered_map<uint64_t, uint16_t> peer_port_;
+  std::unordered_map<uint64_t, std::unique_ptr<SocketTransport>> locals_;
+  std::unordered_map<uint64_t, std::vector<Transport::Handler>> handlers_;
+  std::unordered_map<uint64_t, std::unique_ptr<OutConn>> conns_;  // by dest host
+  // Accepted (inbound) connections; slots are reused after close.
+  std::vector<std::unique_ptr<FramedSocket>> inbound_;
+};
+
+}  // namespace fuse
+
+#endif  // defined(__linux__)
+#endif  // FUSE_TRANSPORT_SOCKET_TRANSPORT_H_

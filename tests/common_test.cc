@@ -1,13 +1,16 @@
-// Unit tests for src/common: time, rng, sha1, stats, serialize, status, ids.
+// Unit tests for src/common: time, rng, sha1, stats, serialize, status, ids,
+// flat_map.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/ids.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -464,6 +467,87 @@ TEST(MetricsTest, CountsAndWindows) {
 
   m.Reset();
   EXPECT_EQ(m.TotalMessages(), 0u);
+}
+
+// Interleaved insert/erase churn across multiple tombstone-forced
+// compactions and capacity doublings, shadow-checked against
+// std::unordered_map. The open-addressed probe loops terminate only while
+// the table keeps >= 25% truly-empty slots (tombstones don't count); erase
+// bursts are sized to force the compaction path repeatedly, and every phase
+// re-verifies size, membership of all live keys, and miss-lookups of every
+// erased key (an Erase-then-Find that can't find an empty slot would hang,
+// not fail — passing at all is the termination guard).
+TEST(FlatMapTest, ChurnStressAgainstShadowMap) {
+  Rng rng(1234);
+  FlatMap<uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> shadow;
+  std::vector<uint64_t> erased_keys;
+
+  // Keys drawn from a small-ish universe so erase/re-insert hits the same
+  // slots (tombstone reuse), mixed with packed sequential keys like the
+  // connection table's PairKey.
+  auto make_key = [&rng](int phase) {
+    if (rng.Bernoulli(0.5)) {
+      return (uint64_t{1} << 32) | static_cast<uint64_t>(rng.UniformInt(0, 511));
+    }
+    return static_cast<uint64_t>(rng.UniformInt(0, 255)) + static_cast<uint64_t>(phase) * 7;
+  };
+
+  auto verify = [&] {
+    ASSERT_EQ(map.size(), shadow.size());
+    for (const auto& [k, v] : shadow) {
+      uint64_t* found = map.Find(k);
+      ASSERT_NE(found, nullptr) << "live key " << k << " missing";
+      ASSERT_EQ(*found, v);
+    }
+    for (const uint64_t k : erased_keys) {
+      if (!shadow.contains(k)) {
+        ASSERT_EQ(map.Find(k), nullptr) << "erased key " << k << " still found";
+      }
+    }
+    size_t iterated = 0;
+    map.ForEach([&](uint64_t k, const uint64_t& v) {
+      ++iterated;
+      const auto it = shadow.find(k);
+      ASSERT_NE(it, shadow.end());
+      ASSERT_EQ(it->second, v);
+    });
+    ASSERT_EQ(iterated, shadow.size());
+  };
+
+  for (int phase = 0; phase < 40; ++phase) {
+    // Growth burst: push well past the previous capacity.
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t k = make_key(phase);
+      const uint64_t v = rng.NextU64();
+      map.FindOrInsert(k) = v;
+      shadow[k] = v;
+    }
+    // Erase burst: drop ~70% of live keys, creating a tombstone majority
+    // that forces the compact-without-doubling growth path on the next
+    // insert wave.
+    std::vector<uint64_t> live;
+    live.reserve(shadow.size());
+    for (const auto& [k, v] : shadow) {
+      live.push_back(k);
+    }
+    rng.Shuffle(live);
+    const size_t to_erase = live.size() * 7 / 10;
+    for (size_t i = 0; i < to_erase; ++i) {
+      ASSERT_TRUE(map.Erase(live[i]));
+      shadow.erase(live[i]);
+      erased_keys.push_back(live[i]);
+    }
+    // Erase of an absent key reports false and must not corrupt accounting.
+    ASSERT_FALSE(map.Erase(~uint64_t{0} - phase));
+    // Immediate re-probe of every erased key: Erase leaves a tombstone, so
+    // the probe chain must still terminate at a true empty.
+    for (size_t i = 0; i < to_erase; ++i) {
+      ASSERT_EQ(map.Find(live[i]), nullptr);
+    }
+    verify();
+  }
+  EXPECT_GT(erased_keys.size(), 4000u) << "stress did not churn enough";
 }
 
 }  // namespace

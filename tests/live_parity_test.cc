@@ -7,6 +7,10 @@
 // partition/heal schedule's lock discipline, under TSan).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "runtime/live_cluster.h"
 #include "runtime/scenario.h"
 
@@ -48,8 +52,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, LiveParityScenario,
                          ::testing::Values(ScenarioKind::kCrashMember,
                                            ScenarioKind::kPartitionHeal,
                                            ScenarioKind::kChurnDuringCreate),
-                         [](const ::testing::TestParamInfo<ScenarioKind>& info) {
-                           return std::string(ScenarioKindName(info.param));
+                         [](const ::testing::TestParamInfo<ScenarioKind>& param_info) {
+                           return std::string(ScenarioKindName(param_info.param));
                          });
 
 // Fault-rule parity at the runtime level: partitions applied through the
@@ -94,6 +98,48 @@ TEST(LiveClusterFaults, PartitionBlocksAndHealRestores) {
   });
   EXPECT_TRUE(cluster.Await([&] { return healed.ok(); }, Duration::Seconds(5)))
       << healed.ToString();
+}
+
+// Regression (PR 5): the sender's ack used to fire Ok at 2x latency even
+// when the delivery-time fault re-check dropped the message. With a
+// partition applied while the message is in flight, the callback must report
+// Broken — the sim fabric's per-attempt semantics (a send across a fault
+// never acks Ok).
+TEST(LiveClusterFaults, MidFlightPartitionBreaksTheAck) {
+  LiveRuntime::Config cfg;
+  cfg.seed = 9;
+  // Latency floor far above the time it takes to apply the partition below,
+  // so "partition lands while in flight" is deterministic, not a race.
+  cfg.min_latency = Duration::Millis(150);
+  cfg.max_latency = Duration::Millis(200);
+  LiveRuntime runtime(cfg);
+  LiveTransport* a = runtime.CreateHost();
+  LiveTransport* b = runtime.CreateHost();
+
+  std::atomic<bool> delivered{false};
+  std::atomic<bool> ack_seen{false};
+  Status acked = Status::Ok();
+  b->RegisterHandler(msgtype::kTest, [&delivered](const WireMessage&) { delivered = true; });
+  WireMessage m;
+  m.to = b->local_host();
+  m.type = msgtype::kTest;
+  m.category = MsgCategory::kApp;
+  a->Send(std::move(m), [&acked, &ack_seen](const Status& s) {
+    acked = s;
+    ack_seen = true;
+  });
+  // Partition {a} away while the message is still in its >=150 ms flight.
+  const HostId ha = a->local_host();
+  runtime.ApplyFaults([ha](FaultInjector& f) { f.PartitionHosts({ha}); });
+
+  for (int spin = 0; spin < 500 && !ack_seen.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  runtime.Stop();  // quiesce before reading `acked`
+  ASSERT_TRUE(ack_seen.load());
+  EXPECT_FALSE(delivered.load()) << "delivery-time re-check must drop the message";
+  EXPECT_FALSE(acked.ok()) << "ack must report the delivery-time drop, got "
+                           << acked.ToString();
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// Sim ↔ live ↔ process parity: the backend-parameterized fault schedules
+// from runtime/scenario.h — the same definitions property_test.cc runs on
+// the discrete-event simulator and live_parity_test.cc runs on the threaded
+// in-process runtime — executed against ProcessCluster, where every node is
+// its own OS process, messages are length-prefixed frames over loopback TCP,
+// and a crash is a real SIGKILL. These run as the `process-parity` ctest
+// label (gated in CI's main job and TSan job); scripts/check.sh skips the
+// label on sandboxes without epoll/fork support.
+#include <gtest/gtest.h>
+
+#include "runtime/process_cluster.h"
+#include "runtime/scenario.h"
+
+#if defined(__linux__)
+
+namespace fuse {
+namespace {
+
+ScenarioOptions ProcessOptions(uint64_t seed) {
+  ScenarioOptions opts;
+  opts.seed = seed;
+  // Same shape as the live-parity runs: the point is cross-process coverage
+  // per wall-clock second, not schedule breadth.
+  opts.num_groups = 3;
+  opts.min_group_size = 2;
+  opts.max_group_size = 4;
+  opts.timing = ScenarioTiming::Live();
+  return opts;
+}
+
+class ProcessParityScenario : public ::testing::TestWithParam<ScenarioKind> {};
+
+TEST_P(ProcessParityScenario, AgreementHoldsAcrossOsProcesses) {
+  const ScenarioKind kind = GetParam();
+  // ChurnDuringCreate draws groups from the stable lower index half (and
+  // SIGKILL/refork-cycles the upper half), so it needs headroom over
+  // max_group_size.
+  const int num_nodes = kind == ScenarioKind::kChurnDuringCreate ? 12 : 8;
+  ProcessCluster cluster(ProcessClusterConfig::FastProtocol(num_nodes, /*seed=*/42));
+  cluster.Build();
+  const ScenarioResult result = RunAgreementScenario(cluster, kind, ProcessOptions(42));
+  EXPECT_TRUE(result.ok()) << ScenarioKindName(kind) << " process: " << result.ToString();
+  // A skipped target (all retried creates definitely failed under churn) is
+  // a legal vacuous outcome on a nondeterministic backend; anything else
+  // must have exercised the notification path.
+  if (!result.target_skipped) {
+    EXPECT_GE(result.notified, 1) << "scenario did not exercise the notification path";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ProcessParityScenario,
+                         ::testing::Values(ScenarioKind::kCrashMember,
+                                           ScenarioKind::kPartitionHeal,
+                                           ScenarioKind::kChurnDuringCreate),
+                         [](const ::testing::TestParamInfo<ScenarioKind>& param_info) {
+                           return std::string(ScenarioKindName(param_info.param));
+                         });
+
+// Crash/restart round trip at the deployment level: SIGKILL one worker, fork
+// a fresh incarnation, and verify it rejoins the overlay (new port, new
+// numeric id, re-advertised address map) well within the restart bound.
+TEST(ProcessClusterLifecycle, SigkillThenRestartRejoins) {
+  ProcessCluster cluster(ProcessClusterConfig::FastProtocol(6, /*seed=*/7));
+  cluster.Build();
+  bool joined0 = false;
+  cluster.Run([&] { joined0 = cluster.IsJoined(3); });
+  ASSERT_TRUE(joined0);
+
+  cluster.Crash(3);
+  bool up_now = true;
+  bool joined_now = true;
+  cluster.Run([&] {
+    up_now = cluster.IsUp(3);
+    joined_now = cluster.IsJoined(3);
+  });
+  EXPECT_FALSE(up_now);
+  EXPECT_FALSE(joined_now);
+
+  // Let the survivors' ping timeouts evict the dead incarnation before the
+  // fresh one rejoins: a join search routed while stale entries still name
+  // node 3's position would be delivered straight back to the joiner (both
+  // in-process backends share this overlay property — churn's exponential
+  // down-times model the same detection window).
+  cluster.AdvanceFor(Duration::Seconds(1));
+
+  cluster.Restart(3);
+  bool joined = false;
+  cluster.Run([&] { joined = cluster.IsJoined(3); });
+  EXPECT_TRUE(joined) << "restarted worker did not rejoin the overlay";
+}
+
+}  // namespace
+}  // namespace fuse
+
+#endif  // defined(__linux__)

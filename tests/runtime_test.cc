@@ -231,5 +231,111 @@ TEST(LiveRuntimeTimerTest, SameDelayEventsFireInScheduleOrder) {
   EXPECT_EQ(order, "abcd");
 }
 
+// Regression (PR 5): Send draws from the runtime rng, which is protocol
+// state shared with the loop thread. Send used to sample it outside the
+// lock, so concurrent Sends from an application thread and the loop thread
+// raced on the generator state. Two threads hammering Send while the loop
+// delivers must be clean under TSan (this test is part of the CI TSan job's
+// LiveRuntime filter).
+TEST(LiveRuntimeRaceTest, ConcurrentSendsAreDataRaceFree) {
+  LiveRuntime::Config cfg;
+  cfg.seed = 11;
+  cfg.loss_probability = 0.2;  // force Bernoulli + UniformInt draws per send
+  cfg.min_latency = Duration::Micros(50);
+  cfg.max_latency = Duration::Micros(500);
+  LiveRuntime runtime(cfg);
+  LiveTransport* a = runtime.CreateHost();
+  LiveTransport* b = runtime.CreateHost();
+  std::atomic<int> delivered{0};
+  std::atomic<int> acked{0};
+  runtime.RegisterHandler(b->local_host(), msgtype::kTest,
+                          [&delivered](const WireMessage&) { delivered++; });
+
+  auto send_burst = [&](LiveTransport* t, HostId to, int count) {
+    for (int i = 0; i < count; ++i) {
+      WireMessage m;
+      m.to = to;
+      m.type = msgtype::kTest;
+      m.category = MsgCategory::kApp;
+      t->Send(std::move(m), [&acked](const Status&) { acked++; });
+    }
+  };
+  // Several application threads hammering Send while the loop thread sends
+  // continuously from scheduled events (the protocol's own path) AND draws
+  // protocol jitter through env().rng(), exactly as the overlay's ping
+  // maintenance does — the interleavings of the original race, dense enough
+  // that the unlocked draws of the buggy version overlap rather than being
+  // serialized through the surrounding critical sections.
+  constexpr int kAppThreads = 4;
+  constexpr int kAppSends = 500;
+  constexpr int kLoopBursts = 50;
+  constexpr int kLoopBurstSends = 100;
+  const int total = kAppThreads * kAppSends + kLoopBursts * kLoopBurstSends;
+  for (int i = 0; i < kLoopBursts; ++i) {
+    runtime.Schedule(Duration::Zero(), [&] {
+      // A long lock-free stretch of protocol draws: wide enough that an
+      // application thread's Send reliably overlaps it, so a Send path that
+      // shared this generator (even with its own draws locked) is flagged.
+      for (int d = 0; d < 20000; ++d) {
+        runtime.rng().UniformInt(0, 1000);
+      }
+      send_burst(a, b->local_host(), kLoopBurstSends);
+    });
+  }
+  std::vector<std::thread> apps;
+  for (int t = 0; t < kAppThreads; ++t) {
+    apps.emplace_back([&] { send_burst(a, b->local_host(), kAppSends); });
+  }
+  for (auto& t : apps) {
+    t.join();
+  }
+  for (int spin = 0; spin < 1000 && acked.load() < total; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  runtime.Stop();
+  EXPECT_EQ(acked.load(), total) << "every send must resolve its callback";
+  EXPECT_GT(delivered.load(), 0);
+}
+
+// Regression (PR 5): RunOnLoop used to block forever when Stop() won the
+// race — the queued closure was dropped without running and the caller's
+// future never resolved. Stop must release every pending caller with "not
+// run", and post-stop RunOnLoop must refuse immediately.
+TEST(LiveRuntimeStopTest, StopReleasesPendingRunOnLoop) {
+  for (int round = 0; round < 20; ++round) {
+    LiveRuntime::Config cfg;
+    cfg.seed = 5;
+    auto runtime = std::make_unique<LiveRuntime>(cfg);
+    std::atomic<int> ran{0};
+    std::atomic<int> reported_ran{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> callers;
+    callers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 50; ++i) {
+          if (runtime->RunOnLoop([&ran] { ran++; })) {
+            reported_ran++;
+          }
+        }
+      });
+    }
+    go = true;
+    // Race Stop against the callers; some closures run, the rest must be
+    // refused — but nobody may hang.
+    runtime->Stop();
+    for (auto& c : callers) {
+      c.join();
+    }
+    // The return value tells the truth: exactly the closures reported as run
+    // actually ran.
+    EXPECT_EQ(ran.load(), reported_ran.load());
+    // Post-stop calls refuse immediately.
+    EXPECT_FALSE(runtime->RunOnLoop([] {}));
+  }
+}
+
 }  // namespace
 }  // namespace fuse
