@@ -20,3 +20,9 @@ if [[ "$(uname -s)" != "Linux" ]] || ! [[ -d /proc/sys/fs/epoll ]]; then
 fi
 
 ctest --test-dir build --output-on-failure -j"$(nproc)" "${extra[@]}" "$@"
+
+# Always-on fuzz smoke: a short deterministic fault-schedule sweep through
+# the fuzzer binary itself (tier-1's fuzz_test covers the library; the
+# nightly lane runs the long, date-seeded sweep). Failing schedules are
+# shrunk and written to build/ as self-contained repro files.
+./build/src/fuzz_schedules --schedules 50 --seed 1 --quiet --repro-dir build

@@ -78,6 +78,39 @@ FuseNode::GroupState* FuseNode::Find(FuseId id) {
   return it == groups_.end() ? nullptr : &it->second;
 }
 
+std::string FuseNode::DebugGroupState(FuseId id) const {
+  const auto it = groups_.find(id);
+  if (it == groups_.end()) {
+    return "";
+  }
+  const GroupState& g = it->second;
+  std::string s = g.is_root ? "root" : g.is_member ? "member" : "delegate";
+  s += " seq=" + std::to_string(g.seq);
+  s += " links=[";
+  bool first = true;
+  for (const auto& [peer, link] : g.links) {
+    if (!first) {
+      s += " ";
+    }
+    first = false;
+    s += std::to_string(peer.value) + (link.timer.pending() ? "" : "(idle)");
+  }
+  s += "]";
+  if (!g.install_pending.empty()) {
+    s += " install_pending=" + std::to_string(g.install_pending.size());
+  }
+  if (g.repair != nullptr) {
+    s += " repairing";
+  }
+  if (g.member_repair_timer.pending()) {
+    s += " member_repair_armed";
+  }
+  if (!g.backstop.pending()) {
+    s += " BACKSTOP-IDLE";
+  }
+  return s;
+}
+
 // ---------------------------------------------------------------------------
 // Public API.
 // ---------------------------------------------------------------------------
@@ -309,6 +342,11 @@ bool FuseNode::OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall) {
         g->install_pending.erase(member.name);
         if (g->install_pending.empty()) {
           g->install_timer.Cancel();
+          if (g->repair == nullptr && g->rerepair_requested) {
+            // The tree looks complete, but a member complained while it was
+            // being rebuilt — run another round.
+            RootScheduleRepair(id);
+          }
         }
       }
       AddLink(*g, upcall.prev_hop, seq);
@@ -317,18 +355,40 @@ bool FuseNode::OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall) {
     }
     // Create still in flight: remember the early install.
     const auto it = creating_.find(id);
-    if (it != creating_.end() && seq == 0) {
-      it->second.installed_early.insert(member.name);
-      // Monitor the last hop once the root state exists; easiest is to defer
-      // by re-adding on completion — record via a synthetic pending link.
-      // We instead install the link immediately after create completes by
-      // re-walking installed_early; the prev hop is stored alongside.
-      it->second.early_links.push_back(upcall.prev_hop);
+    if (it != creating_.end()) {
+      if (seq == 0) {
+        it->second.installed_early.insert(member.name);
+        // Monitor the last hop once the root state exists; easiest is to
+        // defer by re-adding on completion — record via a synthetic pending
+        // link. We instead install the link immediately after create
+        // completes by re-walking installed_early; the prev hop is stored
+        // alongside.
+        it->second.early_links.push_back(upcall.prev_hop);
+      }
+      return false;
     }
+    // Delivered at a node that is not (and is not becoming) the group's
+    // root: the route toward the root's name dead-ended short of it — the
+    // root crashed, or its name region is partitioned away. A checking path
+    // that is not anchored at the root must fail loudly (paper 6.5: a
+    // message that encounters a node with no knowledge of the group signals
+    // a HardNotification), or the member would monitor a dangling path
+    // forever.
+    SendHard(id, member.host);
     return false;
   }
 
   // Intermediate hop: we become (or refresh) a delegate for this group.
+  if (!upcall.next_hop.valid()) {
+    // The route stalled here short of the root (broken overlay route with no
+    // forward progress possible). Installing the half-built path would leave
+    // the member monitoring a chain anchored at nothing — and the two ends
+    // would keep each other's link hashes fresh indefinitely, so the member
+    // would never hear the group fail. Refuse the path and fail it loudly
+    // instead.
+    SendHard(id, member.host);
+    return false;
+  }
   GroupState* g = Find(id);
   if (g == nullptr) {
     GroupState fresh;
@@ -342,11 +402,7 @@ bool FuseNode::OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall) {
   }
   g->seq = seq;
   AddLink(*g, upcall.prev_hop, seq);
-  if (upcall.next_hop.valid()) {
-    AddLink(*g, upcall.next_hop.host, seq);
-  }
-  // If next_hop is invalid the message stalled here (broken overlay route);
-  // the root's install timer will notice the missing path and repair.
+  AddLink(*g, upcall.next_hop.host, seq);
   return false;
 }
 
@@ -761,18 +817,11 @@ void FuseNode::MemberInitiateRepair(GroupState& g) {
   msg.category = MsgCategory::kFuseNeedRepair;
   msg.payload = EncodeIdSeq(id, g.seq);
   const HostId root_host = g.root.host;
-  transport_->Send(std::move(msg), [this, id, root_host](const Status& s) {
-    if (s.ok()) {
-      return;
-    }
-    // Root unreachable (broken connection): treat as group failure (6.1).
-    GroupState* grp = Find(id);
-    if (grp != nullptr && grp->is_member) {
-      SendHard(id, root_host);
-      SendSoftToTree(*grp, HostId(), grp->seq);
-      DeliverLocalFailure(id);
-    }
-  });
+  // Arm the timer before issuing the send: when the root's connection is
+  // already gone, Send invokes the error callback synchronously, which fails
+  // the group and frees this GroupState — touching `g` after Send would be a
+  // use-after-free. DropGroup disarms the timer along with the rest of the
+  // group's state, so arming first is safe in either order.
   g.member_repair_timer.Bind(transport_->env());
   g.member_repair_timer.Start(params_.member_repair_timeout, [this, id] {
     // No repair response from the root within a minute (paper 6.5 / 7.4):
@@ -784,6 +833,18 @@ void FuseNode::MemberInitiateRepair(GroupState& g) {
     SendHard(id, grp->root.host);
     SendSoftToTree(*grp, HostId(), grp->seq);
     DeliverLocalFailure(id);
+  });
+  transport_->Send(std::move(msg), [this, id, root_host](const Status& s) {
+    if (s.ok()) {
+      return;
+    }
+    // Root unreachable (broken connection): treat as group failure (6.1).
+    GroupState* grp = Find(id);
+    if (grp != nullptr && grp->is_member) {
+      SendHard(id, root_host);
+      SendSoftToTree(*grp, HostId(), grp->seq);
+      DeliverLocalFailure(id);
+    }
   });
 }
 
@@ -808,8 +869,18 @@ void FuseNode::RootScheduleRepair(FuseId id) {
   if (g == nullptr || !g->is_root) {
     return;
   }
-  if (g->repair != nullptr || g->scheduled_repair.pending()) {
-    return;  // a repair is already running or queued
+  if (g->repair != nullptr) {
+    // A round is already in flight. It cannot simply absorb this request:
+    // the member asking for repair may have lost its freshly-installed path
+    // in a race with the round's own installs, in which case the round
+    // completes with that member holding no liveness links at all — and its
+    // crash would go undetected. Remember to run another round when the
+    // current one (and its installs) finish.
+    g->rerepair_requested = true;
+    return;
+  }
+  if (g->scheduled_repair.pending()) {
+    return;  // a repair is queued; it will rebuild from the state at start
   }
   Environment& env = transport_->env();
   const TimePoint now = env.Now();
@@ -834,6 +905,9 @@ void FuseNode::RootStartRepair(FuseId id) {
   }
   Environment& env = transport_->env();
   stats_.repairs_initiated++;
+  // Complaints that predate this round are satisfied by it; only a
+  // NeedRepair racing with the round's installs re-arms the flag.
+  g->rerepair_requested = false;
   g->seq++;
   g->last_repair_time = env.Now();
   g->repair = std::make_unique<RepairPending>();
@@ -847,9 +921,18 @@ void FuseNode::RootStartRepair(FuseId id) {
   g->repair->timer.Start(params_.root_repair_timeout, [this, id] { RootRepairFailed(id); });
 
   const PayloadBuf repair_payload = EncodeIdSeq(id, g->seq);
+  // Snapshot the member hosts: a send to an already-disconnected member
+  // fails synchronously, and the failure callback fails the whole group and
+  // frees this GroupState — iterating g->members directly would walk freed
+  // memory once that happens.
+  std::vector<HostId> member_hosts;
+  member_hosts.reserve(g->members.size());
   for (const auto& m : g->members) {
+    member_hosts.push_back(m.host);
+  }
+  for (HostId host : member_hosts) {
     WireMessage msg;
-    msg.to = m.host;
+    msg.to = host;
     msg.type = msgtype::kFuseGroupRepairRequest;
     msg.category = MsgCategory::kFuseRepair;
     msg.payload = repair_payload;
@@ -859,6 +942,9 @@ void FuseNode::RootStartRepair(FuseId id) {
         RootRepairFailed(id);
       }
     });
+    if (Find(id) == nullptr) {
+      return;  // the group already failed via a synchronous send error
+    }
   }
 }
 
@@ -940,6 +1026,9 @@ void FuseNode::OnRepairReply(const WireMessage& msg) {
   if (!g->install_pending.empty()) {
     g->install_timer.Bind(transport_->env());
     g->install_timer.Start(params_.install_timeout, [this, id] { RootScheduleRepair(id); });
+  } else if (g->rerepair_requested) {
+    // A member complained mid-round; its path may already be broken again.
+    RootScheduleRepair(id);
   }
 }
 

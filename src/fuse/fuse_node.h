@@ -100,6 +100,10 @@ class FuseNode {
   }
   const Stats& stats() const { return stats_; }
   NodeRef self() const { return overlay_->self(); }
+  // One-line summary of the group's local state (role, seq, monitored link
+  // peers) — empty string when the group is unknown here. For tests and
+  // fuzz-repro triage.
+  std::string DebugGroupState(FuseId id) const;
 
   void Shutdown();
 
@@ -148,6 +152,11 @@ class FuseNode {
 
     // Root: repair bookkeeping.
     std::unique_ptr<RepairPending> repair;
+    // Root: a NeedRepair arrived while a repair round was already in flight.
+    // The complaining member's new path may have raced with the very failure
+    // it reported, so the round in flight can complete "successfully" while
+    // leaving that member unmonitored — another round must follow.
+    bool rerepair_requested = false;
     std::set<std::string> install_pending;  // members whose path is not installed
     Timer install_timer;
     Duration repair_backoff = Duration::Zero();

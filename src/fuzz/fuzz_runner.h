@@ -1,0 +1,65 @@
+// Executes one fault schedule on the discrete-event simulator and grades the
+// outcome against FUSE's guarantee (the invariant oracle).
+//
+// The oracle classifies each group from the executed schedule:
+//   * must-fire — a member crashed, the application signaled the group, or a
+//     never-healed partition splits the (never-crashed) members: every
+//     never-crashed member must hear exactly one notification;
+//   * must-not-fire — no fault executed at all: any notification is a
+//     violation ("no notification while all members are live and connected");
+//   * may-fire — everything else (loss bursts, slow links, skew, healed or
+//     partial connectivity faults, non-member crashes): false positives are
+//     legal FUSE behavior and are counted as detector QoS, but agreement is
+//     still one-way — if any member heard a notification, every never-crashed
+//     member must hear exactly one.
+// Duplicate notifications are violations everywhere. Groups get one extra
+// detection window before a partial delivery is declared a violation.
+//
+// Detector QoS (Duarte et al.'s diagnosis framing): per run, the number of
+// false-positive groups and the worst time from a group's trigger to full
+// member coverage are reported alongside the verdict.
+#ifndef FUSE_FUZZ_FUZZ_RUNNER_H_
+#define FUSE_FUZZ_FUZZ_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "fuzz/fault_schedule.h"
+
+namespace fuse {
+
+struct FuzzRunOptions {
+  // Test hook for the shrinker's own coverage: the first member's failure
+  // watch counts every notification twice, so any real notification becomes
+  // a duplicate-delivery violation the shrinker must minimize.
+  bool plant_duplicate_watch = false;
+
+  // Virtual-time bounds (the simulator's analytic detection bound, as in
+  // runtime/scenario.cc).
+  Duration settle = Duration::Minutes(2);
+  Duration create_bound = Duration::Minutes(3);
+  Duration detect_bound = Duration::Minutes(8);
+};
+
+struct FuzzRunResult {
+  std::vector<std::string> violations;  // empty = schedule passed
+  int groups_created = 0;
+  int groups_fired = 0;      // groups where >= 1 member heard a notification
+  int false_positives = 0;   // fired groups the oracle did not require to fire
+  int64_t max_detection_latency_us = 0;  // worst trigger->full-coverage time
+  // Deterministic one-line summary (same schedule => byte-identical line).
+  std::string log_line;
+
+  bool ok() const { return violations.empty(); }
+};
+
+FuzzRunResult RunSchedule(const FaultSchedule& schedule, const FuzzRunOptions& options);
+
+inline FuzzRunResult RunSchedule(const FaultSchedule& schedule) {
+  return RunSchedule(schedule, FuzzRunOptions());
+}
+
+}  // namespace fuse
+
+#endif  // FUSE_FUZZ_FUZZ_RUNNER_H_

@@ -1,0 +1,121 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fuse {
+
+namespace {
+
+// Try removing one clause at a time; restart the scan after every successful
+// removal so earlier clauses get re-tried against the smaller schedule.
+bool DropClauses(FaultSchedule& best, const StillFails& still_fails) {
+  bool progress = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < best.clauses.size(); ++i) {
+      FaultSchedule candidate = best;
+      candidate.clauses.erase(candidate.clauses.begin() + static_cast<long>(i));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progress = changed = true;
+        break;
+      }
+    }
+  }
+  return progress;
+}
+
+bool ShrinkGroups(FaultSchedule& best, const StillFails& still_fails) {
+  bool progress = false;
+  while (best.num_groups > 1) {
+    FaultSchedule candidate = best;
+    candidate.num_groups = best.num_groups - 1;
+    if (!still_fails(candidate)) {
+      break;
+    }
+    best = std::move(candidate);
+    progress = true;
+  }
+  return progress;
+}
+
+// The runner clamps node operands modulo the cluster size, so a smaller
+// cluster is always a well-formed candidate. Greedy: try the smallest size
+// first, then walk upward until one reproduces.
+bool ShrinkNodes(FaultSchedule& best, const StillFails& still_fails) {
+  constexpr int kMinNodes = 4;  // smallest overlay the harness builds reliably
+  for (int n = kMinNodes; n < best.num_nodes; ++n) {
+    FaultSchedule candidate = best;
+    candidate.num_nodes = n;
+    if (still_fails(candidate)) {
+      best = std::move(candidate);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ZeroTimes(FaultSchedule& best, const StillFails& still_fails) {
+  bool progress = false;
+  for (size_t i = 0; i < best.clauses.size(); ++i) {
+    if (best.clauses[i].at_us == 0) {
+      continue;
+    }
+    FaultSchedule candidate = best;
+    candidate.clauses[i].at_us = 0;
+    // Keep the clause order stable: a zeroed clause moves to the front of
+    // its schedule position's time class, matching the runner's in-order
+    // execution of the clause list.
+    std::stable_sort(candidate.clauses.begin(), candidate.clauses.end(),
+                     [](const FaultClause& x, const FaultClause& y) { return x.at_us < y.at_us; });
+    if (still_fails(candidate)) {
+      best = std::move(candidate);
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+bool ShrinkPartitionMembers(FaultSchedule& best, const StillFails& still_fails) {
+  bool progress = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < best.clauses.size() && !changed; ++i) {
+      if (best.clauses[i].group.size() <= 1) {
+        continue;
+      }
+      for (size_t m = 0; m < best.clauses[i].group.size(); ++m) {
+        FaultSchedule candidate = best;
+        auto& g = candidate.clauses[i].group;
+        g.erase(g.begin() + static_cast<long>(m));
+        if (still_fails(candidate)) {
+          best = std::move(candidate);
+          progress = changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+FaultSchedule ShrinkSchedule(const FaultSchedule& failing, const StillFails& still_fails) {
+  FaultSchedule best = failing;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    progress |= DropClauses(best, still_fails);
+    progress |= ShrinkGroups(best, still_fails);
+    progress |= ShrinkNodes(best, still_fails);
+    progress |= ZeroTimes(best, still_fails);
+    progress |= ShrinkPartitionMembers(best, still_fails);
+  }
+  return best;
+}
+
+}  // namespace fuse

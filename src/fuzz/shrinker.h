@@ -1,0 +1,34 @@
+// Greedy schedule shrinker: minimizes a failing fault schedule while a
+// caller-supplied predicate keeps failing (ddmin-lite).
+//
+// Passes, each run to a fixpoint and the whole sequence repeated until no
+// pass makes progress:
+//   1. drop whole clauses, one at a time;
+//   2. collapse the group count to 1;
+//   3. shrink the cluster (node operands re-map modulo the new size at
+//      execution time, so clauses stay valid);
+//   4. pull clause times to zero (collapses the schedule's timeline);
+//   5. drop partition members one at a time.
+// The shrinker itself draws no randomness: the same failing schedule and the
+// same predicate always produce the same minimized schedule.
+#ifndef FUSE_FUZZ_SHRINKER_H_
+#define FUSE_FUZZ_SHRINKER_H_
+
+#include <functional>
+
+#include "fuzz/fault_schedule.h"
+
+namespace fuse {
+
+// Returns true when `candidate` still reproduces the failure being minimized
+// (typically: RunSchedule(candidate, opts) reports >= 1 violation).
+using StillFails = std::function<bool(const FaultSchedule&)>;
+
+// Requires still_fails(failing) == true (callers check before shrinking; the
+// shrinker trusts it and only ever keeps candidates the predicate accepts, so
+// the result reproduces the failure by construction).
+FaultSchedule ShrinkSchedule(const FaultSchedule& failing, const StillFails& still_fails);
+
+}  // namespace fuse
+
+#endif  // FUSE_FUZZ_SHRINKER_H_

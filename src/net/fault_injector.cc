@@ -16,6 +16,14 @@ void FaultInjector::BlockPair(HostId a, HostId b) { blocked_pairs_.insert(PairKe
 
 void FaultInjector::UnblockPair(HostId a, HostId b) { blocked_pairs_.erase(PairKey(a, b)); }
 
+void FaultInjector::BlockOneWay(HostId from, HostId to) {
+  oneway_blocked_.insert(OrderedKey(from, to));
+}
+
+void FaultInjector::UnblockOneWay(HostId from, HostId to) {
+  oneway_blocked_.erase(OrderedKey(from, to));
+}
+
 void FaultInjector::PartitionHosts(const std::vector<HostId>& group) {
   const uint32_t id = next_partition_id_++;
   for (HostId h : group) {
@@ -32,6 +40,9 @@ bool FaultInjector::IsBlocked(HostId a, HostId b) const {
   if (blocked_pairs_.contains(PairKey(a, b))) {
     return true;
   }
+  if (!oneway_blocked_.empty() && oneway_blocked_.contains(OrderedKey(a, b))) {
+    return true;
+  }
   if (!partition_of_.empty()) {
     const auto ita = partition_of_.find(a);
     const auto itb = partition_of_.find(b);
@@ -42,6 +53,108 @@ bool FaultInjector::IsBlocked(HostId a, HostId b) const {
     }
   }
   return false;
+}
+
+void FaultInjector::SetLinkDelay(HostId from, HostId to, Duration extra) {
+  if (extra.IsZero()) {
+    link_delay_.erase(OrderedKey(from, to));
+  } else {
+    link_delay_[OrderedKey(from, to)] = extra;
+  }
+}
+
+void FaultInjector::SetHostDelay(HostId h, Duration extra) {
+  if (extra.IsZero()) {
+    host_delay_.erase(h);
+  } else {
+    host_delay_[h] = extra;
+  }
+}
+
+Duration FaultInjector::ExtraDelay(HostId a, HostId b) const {
+  Duration total;
+  if (!link_delay_.empty()) {
+    const auto it = link_delay_.find(OrderedKey(a, b));
+    if (it != link_delay_.end()) {
+      total += it->second;
+    }
+  }
+  if (!host_delay_.empty()) {
+    const auto ita = host_delay_.find(a);
+    if (ita != host_delay_.end()) {
+      total += ita->second;
+    }
+    const auto itb = host_delay_.find(b);
+    if (itb != host_delay_.end()) {
+      total += itb->second;
+    }
+  }
+  return total;
+}
+
+void FaultInjector::SetClockRate(HostId h, double rate) {
+  if (rate == 1.0) {
+    clock_rate_.erase(h);
+  } else {
+    clock_rate_[h] = rate;
+  }
+}
+
+double FaultInjector::ClockRate(HostId h) const {
+  if (clock_rate_.empty()) {
+    return 1.0;
+  }
+  const auto it = clock_rate_.find(h);
+  return it == clock_rate_.end() ? 1.0 : it->second;
+}
+
+void FaultInjector::AddLossBurst(HostId h, TimePoint from, TimePoint until, double p) {
+  loss_bursts_.push_back(LossBurst{h, from, until, p});
+}
+
+void FaultInjector::ClearLossBursts() { loss_bursts_.clear(); }
+
+double FaultInjector::BurstLossProbability(HostId a, HostId b, TimePoint now) const {
+  // Compose overlapping bursts as independent drop chances: the attempt
+  // survives only if it survives every active burst.
+  double survive = 1.0;
+  for (const LossBurst& burst : loss_bursts_) {
+    if (now < burst.from || now >= burst.until) {
+      continue;
+    }
+    if (burst.host.valid() && burst.host != a && burst.host != b) {
+      continue;
+    }
+    survive *= 1.0 - burst.probability;
+  }
+  return 1.0 - survive;
+}
+
+void FaultInjector::SetReorderJitter(HostId h, Duration max) {
+  if (!h.valid()) {
+    global_reorder_jitter_ = max;
+    return;
+  }
+  if (max.IsZero()) {
+    reorder_jitter_.erase(h);
+  } else {
+    reorder_jitter_[h] = max;
+  }
+}
+
+Duration FaultInjector::ReorderJitterFor(HostId a, HostId b) const {
+  Duration max = global_reorder_jitter_;
+  if (!reorder_jitter_.empty()) {
+    const auto ita = reorder_jitter_.find(a);
+    if (ita != reorder_jitter_.end() && ita->second > max) {
+      max = ita->second;
+    }
+    const auto itb = reorder_jitter_.find(b);
+    if (itb != reorder_jitter_.end() && itb->second > max) {
+      max = itb->second;
+    }
+  }
+  return max;
 }
 
 void FaultInjector::EncodeTo(Writer& w) const {
@@ -75,12 +188,88 @@ void FaultInjector::EncodeTo(Writer& w) const {
     w.PutU32(g);
   }
   w.PutU32(next_partition_id_);
+
+  // Gray-failure sections, appended after the original fields (the whole rule
+  // set is always encoded/decoded as a unit, so no version tag is needed —
+  // both sides of a process deployment run the same binary).
+  std::vector<uint64_t> oneway(oneway_blocked_.begin(), oneway_blocked_.end());
+  std::sort(oneway.begin(), oneway.end());
+  w.PutU32(static_cast<uint32_t>(oneway.size()));
+  for (uint64_t v : oneway) {
+    w.PutU64(v);
+  }
+
+  std::vector<std::pair<uint64_t, int64_t>> links;
+  links.reserve(link_delay_.size());
+  for (const auto& [k, d] : link_delay_) {
+    links.emplace_back(k, d.ToMicros());
+  }
+  std::sort(links.begin(), links.end());
+  w.PutU32(static_cast<uint32_t>(links.size()));
+  for (const auto& [k, us] : links) {
+    w.PutU64(k);
+    w.PutI64(us);
+  }
+
+  std::vector<std::pair<uint64_t, int64_t>> hosts;
+  hosts.reserve(host_delay_.size());
+  for (const auto& [h, d] : host_delay_) {
+    hosts.emplace_back(h.value, d.ToMicros());
+  }
+  std::sort(hosts.begin(), hosts.end());
+  w.PutU32(static_cast<uint32_t>(hosts.size()));
+  for (const auto& [h, us] : hosts) {
+    w.PutU64(h);
+    w.PutI64(us);
+  }
+
+  std::vector<std::pair<uint64_t, double>> rates;
+  rates.reserve(clock_rate_.size());
+  for (const auto& [h, rate] : clock_rate_) {
+    rates.emplace_back(h.value, rate);
+  }
+  std::sort(rates.begin(), rates.end());
+  w.PutU32(static_cast<uint32_t>(rates.size()));
+  for (const auto& [h, rate] : rates) {
+    w.PutU64(h);
+    w.PutDouble(rate);
+  }
+
+  // Bursts keep insertion order (overlap composition is order-independent but
+  // the wire form should match what the originator holds).
+  w.PutU32(static_cast<uint32_t>(loss_bursts_.size()));
+  for (const LossBurst& burst : loss_bursts_) {
+    w.PutU64(burst.host.value);
+    w.PutI64(burst.from.ToMicros());
+    w.PutI64(burst.until.ToMicros());
+    w.PutDouble(burst.probability);
+  }
+
+  std::vector<std::pair<uint64_t, int64_t>> jitters;
+  jitters.reserve(reorder_jitter_.size());
+  for (const auto& [h, d] : reorder_jitter_) {
+    jitters.emplace_back(h.value, d.ToMicros());
+  }
+  std::sort(jitters.begin(), jitters.end());
+  w.PutU32(static_cast<uint32_t>(jitters.size()));
+  for (const auto& [h, us] : jitters) {
+    w.PutU64(h);
+    w.PutI64(us);
+  }
+  w.PutI64(global_reorder_jitter_.ToMicros());
 }
 
 bool FaultInjector::DecodeFrom(Reader& r) {
   down_hosts_.clear();
   blocked_pairs_.clear();
+  oneway_blocked_.clear();
   partition_of_.clear();
+  link_delay_.clear();
+  host_delay_.clear();
+  clock_rate_.clear();
+  loss_bursts_.clear();
+  reorder_jitter_.clear();
+  global_reorder_jitter_ = Duration::Zero();
   const uint32_t ndown = r.GetU32();
   for (uint32_t i = 0; i < ndown && r.ok(); ++i) {
     down_hosts_.insert(HostId(r.GetU64()));
@@ -95,6 +284,41 @@ bool FaultInjector::DecodeFrom(Reader& r) {
     partition_of_[HostId(h)] = r.GetU32();
   }
   next_partition_id_ = r.GetU32();
+
+  const uint32_t noneway = r.GetU32();
+  for (uint32_t i = 0; i < noneway && r.ok(); ++i) {
+    oneway_blocked_.insert(r.GetU64());
+  }
+  const uint32_t nlinks = r.GetU32();
+  for (uint32_t i = 0; i < nlinks && r.ok(); ++i) {
+    const uint64_t k = r.GetU64();
+    link_delay_[k] = Duration::Micros(r.GetI64());
+  }
+  const uint32_t nhosts = r.GetU32();
+  for (uint32_t i = 0; i < nhosts && r.ok(); ++i) {
+    const uint64_t h = r.GetU64();
+    host_delay_[HostId(h)] = Duration::Micros(r.GetI64());
+  }
+  const uint32_t nrates = r.GetU32();
+  for (uint32_t i = 0; i < nrates && r.ok(); ++i) {
+    const uint64_t h = r.GetU64();
+    clock_rate_[HostId(h)] = r.GetDouble();
+  }
+  const uint32_t nbursts = r.GetU32();
+  for (uint32_t i = 0; i < nbursts && r.ok(); ++i) {
+    LossBurst burst;
+    burst.host = HostId(r.GetU64());
+    burst.from = TimePoint::FromMicros(r.GetI64());
+    burst.until = TimePoint::FromMicros(r.GetI64());
+    burst.probability = r.GetDouble();
+    loss_bursts_.push_back(burst);
+  }
+  const uint32_t njitters = r.GetU32();
+  for (uint32_t i = 0; i < njitters && r.ok(); ++i) {
+    const uint64_t h = r.GetU64();
+    reorder_jitter_[HostId(h)] = Duration::Micros(r.GetI64());
+  }
+  global_reorder_jitter_ = Duration::Micros(r.GetI64());
   return r.ok();
 }
 

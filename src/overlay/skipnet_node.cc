@@ -261,9 +261,24 @@ void SkipNetNode::ProcessEnvelope(RoutedEnvelope env, HostId prev_hop) {
     return;
   }
   const bool at_dest = env.dest == self_.name;
-  const auto next = table_.NextHopTowards(env.dest);
+  auto next = table_.NextHopTowards(env.dest);
 
   if (env.tag == kJoinSearchTag) {
+    // Incarnation-aware join routing: a next hop on the joiner's own host
+    // must be a stale entry for a dead incarnation — the joiner itself is
+    // not in the overlay yet, so forwarding there would bounce the search
+    // off the joiner's self-host guard until ping timeouts evict the entry.
+    // The join search is proof the host came back, so evict the stale entry
+    // now (no quarantine: the replacement is demonstrably alive) and route
+    // around it.
+    if (next.has_value() && next->host == env.origin.host &&
+        env.origin.host != self_.host) {
+      table_.RemoveHost(env.origin.host);
+      FixLevelZeroFromLeafSet();
+      RefreshPingSet();
+      ScheduleRepair();
+      next = table_.NextHopTowards(env.dest);
+    }
     // Internal: deliver at the terminal node (the owner of the joiner's
     // name position), no client upcall.
     if (!next.has_value() || at_dest) {

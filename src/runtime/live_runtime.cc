@@ -311,6 +311,9 @@ void LiveRuntime::Send(WireMessage msg, Transport::SendCallback cb) {
     lost = faults_.IsBlocked(msg.from, msg.to) || send_rng_.Bernoulli(config_.loss_probability);
     latency = Duration::Micros(send_rng_.UniformInt(config_.min_latency.ToMicros(),
                                                     config_.max_latency.ToMicros()));
+    // Slow-but-alive rules stretch the one-way latency; the same term feeds
+    // the loss-timeout path below, mirroring the sim fabric's inflated RTO.
+    latency += faults_.ExtraDelay(msg.from, msg.to);
   }
   if (lost) {
     // Reliable-transport semantics: the sender eventually learns the send

@@ -17,7 +17,23 @@ void SimTransport::RegisterHandler(uint16_t type, Handler handler) {
 
 void SimTransport::UnregisterAllHandlers() { fabric_->UnregisterAllHandlers(host_); }
 
-Environment& SimTransport::env() { return fabric_->env(); }
+Environment& SimTransport::env() { return fabric_->EnvFor(host_); }
+
+TimePoint SkewedHostEnv::Now() const { return fabric_->env().Now(); }
+
+TimerId SkewedHostEnv::Schedule(Duration d, UniqueFunction fn) {
+  const double rate = fabric_->network().faults().ClockRate(host_);
+  if (rate == 1.0) {
+    return fabric_->env().Schedule(d, std::move(fn));
+  }
+  return fabric_->env().Schedule(d * (1.0 / rate), std::move(fn));
+}
+
+bool SkewedHostEnv::Cancel(TimerId id) { return fabric_->env().Cancel(id); }
+
+Rng& SkewedHostEnv::rng() { return fabric_->env().rng(); }
+
+Metrics& SkewedHostEnv::metrics() { return fabric_->env().metrics(); }
 
 SimFabric::SimFabric(Environment& env, SimNetwork& net, CostModel cost, TcpParams tcp)
     : env_(env), net_(net), cost_(cost), tcp_(tcp) {}
@@ -29,9 +45,12 @@ SimFabric::HostState& SimFabric::StateOf(HostId h) {
   HostState& hs = hosts_[h.value];
   if (hs.transport == nullptr) {
     hs.transport = std::make_unique<SimTransport>(this, h);
+    hs.host_env = std::make_unique<SkewedHostEnv>(this, h);
   }
   return hs;
 }
+
+Environment& SimFabric::EnvFor(HostId host) { return *StateOf(host).host_env; }
 
 const SimFabric::HostState* SimFabric::FindState(HostId h) const {
   if (h.value >= hosts_.size() || hosts_[h.value].transport == nullptr) {
@@ -172,15 +191,24 @@ void SimFabric::AttemptConnect(HostId initiator, HostId peer, uint64_t epoch, in
     }
     return;
   }
-  // SYN + SYNACK: both must survive, and the pair must not be blocked.
+  // SYN + SYNACK: both must survive, and neither direction may be blocked.
   env_.metrics().IncMessage(MsgCategory::kTransportControl, WireMessage::kHeaderBytes);
   const int dir = initiator < peer ? 0 : 1;
-  const bool blocked = net_.faults().IsBlocked(initiator, peer);
-  const bool ok = !blocked && env_.rng().Bernoulli(RouteSuccess(conn.path[dir].hops)) &&
-                  env_.rng().Bernoulli(RouteSuccess(conn.path[1 - dir].hops));
+  const FaultInjector& faults = net_.faults();
+  const bool blocked =
+      faults.IsBlocked(initiator, peer) || faults.IsBlocked(peer, initiator);
+  // Loss bursts multiply the per-attempt survival probability, so a rule set
+  // without bursts draws the exact same Bernoulli sequence as before.
+  const double burst =
+      faults.HasLossBursts() ? faults.BurstLossProbability(initiator, peer, env_.Now()) : 0.0;
+  const bool ok =
+      !blocked &&
+      env_.rng().Bernoulli(RouteSuccess(conn.path[dir].hops) * (1.0 - burst)) &&
+      env_.rng().Bernoulli(RouteSuccess(conn.path[1 - dir].hops) * (1.0 - burst));
   if (ok) {
     env_.metrics().IncMessage(MsgCategory::kTransportControl, WireMessage::kHeaderBytes);
-    const Duration rtt = conn.path[0].latency + conn.path[1].latency;
+    const Duration rtt = conn.path[0].latency + conn.path[1].latency +
+                         faults.ExtraDelay(initiator, peer) + faults.ExtraDelay(peer, initiator);
     env_.Schedule(rtt, [this, initiator, peer, epoch] {
       Connection& c = ConnOf(initiator, peer);
       if (c.epoch != epoch || c.state != Connection::State::kConnecting) {
@@ -281,11 +309,31 @@ void SimFabric::AttemptData(HostId from, SendRef ref) {
   st->attempt++;
   env_.metrics().IncMessage(st->category, st->wire_size);
   const int dir = from < to ? 0 : 1;
-  const bool blocked = net_.faults().IsBlocked(from, to);
-  const bool data_ok = !blocked && env_.rng().Bernoulli(RouteSuccess(conn.path[dir].hops));
-  const bool ack_ok = data_ok && env_.rng().Bernoulli(RouteSuccess(conn.path[1 - dir].hops));
-  const Duration one_way = conn.path[dir].latency;
-  const Duration rtt = conn.path[0].latency + conn.path[1].latency;
+  const FaultInjector& faults = net_.faults();
+  // Directional verdicts: under an asymmetric block the data can arrive while
+  // every ack is lost, so the receiver sees (and re-sees) the message while
+  // the sender backs off toward a broken connection.
+  const bool data_blocked = faults.IsBlocked(from, to);
+  const bool ack_blocked = faults.IsBlocked(to, from);
+  const double burst =
+      faults.HasLossBursts() ? faults.BurstLossProbability(from, to, env_.Now()) : 0.0;
+  const bool data_ok =
+      !data_blocked && env_.rng().Bernoulli(RouteSuccess(conn.path[dir].hops) * (1.0 - burst));
+  const bool ack_ok =
+      data_ok && !ack_blocked &&
+      env_.rng().Bernoulli(RouteSuccess(conn.path[1 - dir].hops) * (1.0 - burst));
+  const Duration fwd_extra = faults.ExtraDelay(from, to);
+  Duration one_way = conn.path[dir].latency + fwd_extra;
+  const Duration jitter_max = faults.ReorderJitterFor(from, to);
+  if (!jitter_max.IsZero()) {
+    // Extra per-message delay scrambles arrival order across connections (and
+    // lands in the slot's ready_time, so in-order delivery per connection
+    // still holds via the watermark). The draw only happens when a reorder
+    // rule is active, preserving the rng sequence of jitter-free schedules.
+    one_way += Duration::Micros(env_.rng().UniformInt(0, jitter_max.ToMicros()));
+  }
+  const Duration rtt = conn.path[0].latency + conn.path[1].latency + fwd_extra +
+                       faults.ExtraDelay(to, from);
 
   // A stale slot ref means the message was already delivered (a lost-ack
   // retransmission): nothing left to mark ready.

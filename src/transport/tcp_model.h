@@ -59,12 +59,38 @@ class SimTransport : public Transport {
   HostId host_;
 };
 
+// Per-host Environment facade implementing timer-rate clock skew: Schedule()
+// durations are divided by the host's FaultInjector clock rate (rate 2.0 =
+// the host's timers fire in half the nominal time, so it pings and declares
+// timeouts early), while Now() stays global. This models relative timer-rate
+// drift — the QoS-relevant effect — without forking the timeline. At the
+// default rate 1.0 the facade is a pure passthrough, so schedules without
+// skew rules are bit-identical to runs predating it.
+class SkewedHostEnv : public Environment {
+ public:
+  SkewedHostEnv(SimFabric* fabric, HostId host) : fabric_(fabric), host_(host) {}
+
+  TimePoint Now() const override;
+  TimerId Schedule(Duration d, UniqueFunction fn) override;
+  bool Cancel(TimerId id) override;
+  Rng& rng() override;
+  Metrics& metrics() override;
+
+ private:
+  SimFabric* fabric_;
+  HostId host_;
+};
+
 class SimFabric {
  public:
   SimFabric(Environment& env, SimNetwork& net, CostModel cost, TcpParams tcp = TcpParams());
 
   // Returns the transport for `host`, creating the fabric-side state lazily.
   SimTransport* TransportFor(HostId host);
+
+  // The environment node-level code on `host` runs against: the base env
+  // wrapped in the host's clock-skew facade (see SkewedHostEnv).
+  Environment& EnvFor(HostId host);
 
   // Fail-stop crash: marks the host down in the fault rules, breaks all its
   // connections, clears its handlers, and bumps its incarnation so stale
@@ -169,6 +195,7 @@ class SimFabric {
 
   struct HostState {
     std::unique_ptr<SimTransport> transport;  // null until materialized
+    std::unique_ptr<SkewedHostEnv> host_env;  // created with the transport
     // Flat dispatch table indexed by MsgTypeSlot(type); sized on first
     // registration.
     std::vector<Transport::Handler> handlers;

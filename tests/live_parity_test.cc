@@ -100,6 +100,20 @@ TEST(LiveClusterFaults, PartitionBlocksAndHealRestores) {
       << healed.ToString();
 }
 
+// Regression (PR 6): instant crash/restart round trip with no down-window.
+// The incarnation-aware join path must evict the dead incarnation's stale
+// table entries instead of bouncing the join search back to the joiner, so
+// the rejoin cannot depend on the survivors' ping timeouts having fired.
+TEST(LiveClusterLifecycle, InstantRestartRejoins) {
+  LiveCluster cluster(LiveClusterConfig::FastProtocol(6, /*seed=*/11));
+  cluster.Build();
+  cluster.Crash(2);
+  cluster.Restart(2);
+  bool joined = false;
+  cluster.Run([&] { joined = cluster.IsJoined(2); });
+  EXPECT_TRUE(joined) << "instantly-restarted node did not rejoin the overlay";
+}
+
 // Regression (PR 5): the sender's ack used to fire Ok at 2x latency even
 // when the delivery-time fault re-check dropped the message. With a
 // partition applied while the message is in flight, the callback must report

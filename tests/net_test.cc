@@ -201,6 +201,146 @@ TEST(FaultInjectorTest, BlockedPairLayersOverPartition) {
   EXPECT_FALSE(f.IsBlocked(a, b));
 }
 
+TEST(FaultInjectorTest, OneWayBlockIsDirectional) {
+  FaultInjector f;
+  const HostId a(1), b(2);
+  f.BlockOneWay(a, b);
+  // The asymmetric-connectivity case (Halpern/Ricciardi): a cannot reach b,
+  // but b still reaches a.
+  EXPECT_TRUE(f.IsBlocked(a, b));
+  EXPECT_FALSE(f.IsBlocked(b, a));
+  f.UnblockOneWay(a, b);
+  EXPECT_FALSE(f.IsBlocked(a, b));
+}
+
+TEST(FaultInjectorTest, LinkAndHostDelaysCompose) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3);
+  EXPECT_TRUE(f.ExtraDelay(a, b).IsZero());
+  f.SetLinkDelay(a, b, Duration::Millis(100));
+  EXPECT_EQ(f.ExtraDelay(a, b), Duration::Millis(100));
+  EXPECT_TRUE(f.ExtraDelay(b, a).IsZero());  // directional
+  // A slow-but-alive host taxes every message touching it, on top of links.
+  f.SetHostDelay(b, Duration::Millis(50));
+  EXPECT_EQ(f.ExtraDelay(a, b), Duration::Millis(150));
+  EXPECT_EQ(f.ExtraDelay(b, a), Duration::Millis(50));
+  EXPECT_EQ(f.ExtraDelay(c, b), Duration::Millis(50));
+  EXPECT_TRUE(f.ExtraDelay(a, c).IsZero());
+  f.SetLinkDelay(a, b, Duration::Zero());
+  f.SetHostDelay(b, Duration::Zero());
+  EXPECT_TRUE(f.ExtraDelay(a, b).IsZero());
+}
+
+TEST(FaultInjectorTest, ClockRateDefaultsToNominal) {
+  FaultInjector f;
+  const HostId a(1), b(2);
+  EXPECT_DOUBLE_EQ(f.ClockRate(a), 1.0);
+  f.SetClockRate(a, 2.0);
+  EXPECT_DOUBLE_EQ(f.ClockRate(a), 2.0);
+  EXPECT_DOUBLE_EQ(f.ClockRate(b), 1.0);
+  f.SetClockRate(a, 1.0);  // 1.0 clears the rule
+  EXPECT_DOUBLE_EQ(f.ClockRate(a), 1.0);
+}
+
+TEST(FaultInjectorTest, LossBurstsAreTimedAndCompose) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3);
+  EXPECT_FALSE(f.HasLossBursts());
+  f.AddLossBurst(a, TimePoint::FromMicros(100), TimePoint::FromMicros(200), 0.5);
+  EXPECT_TRUE(f.HasLossBursts());
+  // Outside the window, or not touching the host: no extra loss.
+  EXPECT_DOUBLE_EQ(f.BurstLossProbability(a, b, TimePoint::FromMicros(50)), 0.0);
+  EXPECT_DOUBLE_EQ(f.BurstLossProbability(a, b, TimePoint::FromMicros(200)), 0.0);
+  EXPECT_DOUBLE_EQ(f.BurstLossProbability(b, c, TimePoint::FromMicros(150)), 0.0);
+  // Inside, touching the host in either direction.
+  EXPECT_DOUBLE_EQ(f.BurstLossProbability(a, b, TimePoint::FromMicros(150)), 0.5);
+  EXPECT_DOUBLE_EQ(f.BurstLossProbability(b, a, TimePoint::FromMicros(150)), 0.5);
+  // An all-traffic burst (invalid host) overlapping composes independently:
+  // survive = 0.5 * 0.5.
+  f.AddLossBurst(HostId(), TimePoint::FromMicros(120), TimePoint::FromMicros(180), 0.5);
+  EXPECT_DOUBLE_EQ(f.BurstLossProbability(a, b, TimePoint::FromMicros(150)), 0.75);
+  EXPECT_DOUBLE_EQ(f.BurstLossProbability(b, c, TimePoint::FromMicros(150)), 0.5);
+  f.ClearLossBursts();
+  EXPECT_FALSE(f.HasLossBursts());
+  EXPECT_DOUBLE_EQ(f.BurstLossProbability(a, b, TimePoint::FromMicros(150)), 0.0);
+}
+
+TEST(FaultInjectorTest, ReorderJitterTakesTheLargestApplicableBound) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3);
+  EXPECT_TRUE(f.ReorderJitterFor(a, b).IsZero());
+  f.SetReorderJitter(a, Duration::Millis(20));
+  EXPECT_EQ(f.ReorderJitterFor(a, b), Duration::Millis(20));
+  EXPECT_EQ(f.ReorderJitterFor(c, a), Duration::Millis(20));
+  EXPECT_TRUE(f.ReorderJitterFor(b, c).IsZero());
+  // Global jitter applies to everything; per-host maxima win when larger.
+  f.SetReorderJitter(HostId(), Duration::Millis(5));
+  EXPECT_EQ(f.ReorderJitterFor(b, c), Duration::Millis(5));
+  EXPECT_EQ(f.ReorderJitterFor(a, b), Duration::Millis(20));
+  f.SetReorderJitter(a, Duration::Zero());
+  f.SetReorderJitter(HostId(), Duration::Zero());
+  EXPECT_TRUE(f.ReorderJitterFor(a, b).IsZero());
+}
+
+// The process backend replicates rules to workers via EncodeTo/DecodeFrom;
+// a kind that does not survive the round trip would silently replay a
+// different schedule in every worker. Every rule kind goes through the wire
+// and must come back with identical verdicts — and identical re-encoding.
+TEST(FaultInjectorTest, EncodeDecodeRoundTripsEveryRuleKind) {
+  FaultInjector f;
+  const HostId a(1), b(2), c(3), d(4), e(5);
+  f.SetHostDown(e, true);
+  f.BlockPair(a, c);
+  f.BlockOneWay(b, a);
+  f.PartitionHosts({a, b});
+  f.PartitionHosts({c, d});
+  f.SetLinkDelay(a, b, Duration::Millis(250));
+  f.SetHostDelay(c, Duration::Millis(40));
+  f.SetClockRate(b, 1.75);
+  f.AddLossBurst(a, TimePoint::FromMicros(1000), TimePoint::FromMicros(9000), 0.3);
+  f.AddLossBurst(HostId(), TimePoint::FromMicros(2000), TimePoint::FromMicros(3000), 0.9);
+  f.SetReorderJitter(d, Duration::Millis(15));
+  f.SetReorderJitter(HostId(), Duration::Millis(2));
+
+  Writer w;
+  f.EncodeTo(w);
+  const std::vector<uint8_t> wire = w.Take();
+  FaultInjector g;
+  Reader r(wire);
+  ASSERT_TRUE(g.DecodeFrom(r));
+  ASSERT_TRUE(r.Done()) << "decoder must consume the whole encoding";
+
+  // Verdict equality across every kind.
+  EXPECT_TRUE(g.IsHostDown(e));
+  EXPECT_TRUE(g.IsBlocked(a, c));
+  EXPECT_TRUE(g.IsBlocked(b, a));     // one-way
+  EXPECT_FALSE(g.IsBlocked(a, b));    // same partition group, no other rule
+  EXPECT_TRUE(g.IsBlocked(a, d));     // cross-partition
+  EXPECT_EQ(g.ExtraDelay(a, b), Duration::Millis(250));
+  EXPECT_EQ(g.ExtraDelay(b, c), Duration::Millis(40));
+  EXPECT_DOUBLE_EQ(g.ClockRate(b), 1.75);
+  EXPECT_DOUBLE_EQ(g.ClockRate(a), 1.0);
+  EXPECT_DOUBLE_EQ(g.BurstLossProbability(a, b, TimePoint::FromMicros(1500)), 0.3);
+  EXPECT_DOUBLE_EQ(g.BurstLossProbability(c, d, TimePoint::FromMicros(2500)), 0.9);
+  EXPECT_EQ(g.ReorderJitterFor(c, d), Duration::Millis(15));
+  EXPECT_EQ(g.ReorderJitterFor(a, b), Duration::Millis(2));
+
+  // Re-encoding the decoded rules reproduces the exact wire bytes, so rules
+  // can be forwarded worker-to-worker without drift.
+  Writer w2;
+  g.EncodeTo(w2);
+  EXPECT_EQ(w2.bytes(), wire);
+
+  // Decoding must fully replace prior state, not merge into it.
+  FaultInjector h;
+  h.SetHostDown(a, true);
+  h.SetClockRate(d, 3.0);
+  Reader r2(wire);
+  ASSERT_TRUE(h.DecodeFrom(r2));
+  EXPECT_FALSE(h.IsHostDown(a));
+  EXPECT_DOUBLE_EQ(h.ClockRate(d), 1.0);
+}
+
 TEST(NetworkTest, CoLocatedHostsShareRouter) {
   Rng rng(11);
   TopologyConfig cfg;

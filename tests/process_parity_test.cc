@@ -76,13 +76,10 @@ TEST(ProcessClusterLifecycle, SigkillThenRestartRejoins) {
   EXPECT_FALSE(up_now);
   EXPECT_FALSE(joined_now);
 
-  // Let the survivors' ping timeouts evict the dead incarnation before the
-  // fresh one rejoins: a join search routed while stale entries still name
-  // node 3's position would be delivered straight back to the joiner (both
-  // in-process backends share this overlay property — churn's exponential
-  // down-times model the same detection window).
-  cluster.AdvanceFor(Duration::Seconds(1));
-
+  // No down-window: the fresh incarnation restarts immediately. The join
+  // path is incarnation-aware — a hop that would route the join search to
+  // the joiner's own (stale, dead) table entry evicts it and routes around —
+  // so survivors need not notice the crash first.
   cluster.Restart(3);
   bool joined = false;
   cluster.Run([&] { joined = cluster.IsJoined(3); });

@@ -57,6 +57,34 @@ TEST(SimClusterChurnTest, PopulationOscillatesAndRingSurvives) {
   EXPECT_GE(delivered, 18) << "routing badly degraded after churn";
 }
 
+// Regression (PR 6): a node crashed and restarted with NO down-window used
+// to be unable to rejoin until the survivors' ping timeouts evicted its dead
+// incarnation — greedy routing resolved the join search to the stale table
+// entry naming the joiner's own host, and the joiner's self-host guard
+// dropped it. The join path is now incarnation-aware: the hop holding the
+// stale entry evicts it and routes around, so the first join attempt
+// succeeds, long before failure detection (~ping_period + ping_timeout).
+TEST(SimClusterRestartTest, InstantRestartRejoinsBeforeFailureDetection) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.seed = 17;
+  cfg.topology.num_as = 40;
+  cfg.cost = CostModel::Simulator();
+  SimCluster cluster(cfg);
+  cluster.Build();
+  const TimePoint t0 = cluster.env().Now();
+  cluster.Crash(3);
+  cluster.Restart(3);  // no AdvanceFor between: the down-window is zero
+  bool joined = false;
+  cluster.Run([&] { joined = cluster.IsJoined(3); });
+  EXPECT_TRUE(joined) << "instantly-restarted node did not rejoin";
+  const Duration elapsed = cluster.env().Now() - t0;
+  EXPECT_LT(elapsed, Duration::Seconds(30))
+      << "rejoin took " << elapsed.ToString()
+      << " — it waited out failure detection instead of evicting the stale "
+         "incarnation on the join path";
+}
+
 class LiveFixture : public ::testing::Test {
  protected:
   void SetUp() override {
