@@ -1,4 +1,4 @@
-// Scaling benchmark: pushes SimCluster past the paper's 400 virtual nodes
+// Scaling benchmark: pushes the simulator past the paper's 400 virtual nodes
 // toward 10k+, exercising the timer-wheel event core under the full
 // steady-state ping load (every node pings every distinct routing-table
 // neighbor each period — paper section 7.4).
@@ -7,6 +7,8 @@
 //   * Build() wall time (topology + joins + ring convergence),
 //   * steady-state throughput: simulated events and messages executed per
 //     wall second over 60 simulated seconds of pinging,
+//   * timer pressure: pending/scheduled/cancelled event counts (the numbers
+//     ping coalescing is measured against),
 //   * crash-notification latency: one co-located "machine" (10 virtual
 //     nodes) crashes and every surviving member of an affected FUSE group
 //     must be notified (the Figure 9 experiment, at scale).
@@ -15,181 +17,34 @@
 //   bench_scale_10k                      # full sweep: 1000 4000 10000
 //   bench_scale_10k 1000 4000            # explicit scales
 //   bench_scale_10k --smoke              # CI gate: 10k build + 60 s pings
+//   bench_scale_10k --shards 8 --threads 4   # sharded parallel backend
+//   bench_scale_10k --coalesce           # batch each node's pings
 //   bench_scale_10k --json out.json ...  # also emit machine-readable results
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
-
-namespace {
-
-using namespace fuse;
-using namespace fuse::bench;
-
-double WallSeconds(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
-
-struct ScaleResult {
-  int nodes = 0;
-  double build_wall_s = 0;
-  double avg_neighbors = 0;
-  uint64_t steady_events = 0;
-  double steady_events_per_wall_s = 0;
-  double steady_msgs_per_sim_s = 0;
-  size_t pending_timers = 0;
-  int groups = 0;
-  int expected_notifications = 0;
-  int delivered_notifications = 0;
-  double notify_p50_min = 0;
-  double notify_max_min = 0;
-};
-
-ScaleResult RunScale(int n, bool with_groups) {
-  ScaleResult res;
-  res.nodes = n;
-
-  SimCluster cluster(ClusterConfig::LargeScale(n, /*seed=*/77));
-  const auto t0 = std::chrono::steady_clock::now();
-  cluster.Build();
-  res.build_wall_s = WallSeconds(t0);
-  res.avg_neighbors = cluster.AvgDistinctNeighbors();
-
-  // Steady state: 60 simulated seconds of full-mesh liveness pinging.
-  const auto t1 = std::chrono::steady_clock::now();
-  const uint64_t events0 = cluster.sim().queue().ExecutedCount();
-  const uint64_t msgs0 = cluster.sim().metrics().TotalMessages();
-  cluster.sim().RunFor(Duration::Seconds(60));
-  const double steady_wall = WallSeconds(t1);
-  res.steady_events = cluster.sim().queue().ExecutedCount() - events0;
-  res.steady_events_per_wall_s =
-      steady_wall > 0 ? static_cast<double>(res.steady_events) / steady_wall : 0;
-  res.steady_msgs_per_sim_s =
-      static_cast<double>(cluster.sim().metrics().TotalMessages() - msgs0) / 60.0;
-  res.pending_timers = cluster.sim().queue().PendingCount();
-
-  if (!with_groups) {
-    return res;
-  }
-
-  // Figure 9 at scale: groups of 5, one "machine" (10 co-located virtual
-  // nodes) dies, survivors of affected groups must hear about it.
-  struct GroupInfo {
-    FuseId id;
-    std::vector<size_t> members;
-  };
-  const int num_groups = std::min(400, n / 5);
-  std::vector<GroupInfo> groups;
-  for (int g = 0; g < num_groups; ++g) {
-    const auto members = cluster.PickLiveNodes(5);
-    Status status;
-    const FuseId id = CreateGroupTimed(cluster, members[0], members, &status, nullptr);
-    if (status.ok()) {
-      groups.push_back({id, members});
-    }
-  }
-  res.groups = static_cast<int>(groups.size());
-  cluster.sim().RunFor(Duration::Minutes(2));  // settle
-
-  const size_t machine_first = static_cast<size_t>(n) / 2;  // 10 co-located nodes
-  const size_t machine_last = machine_first + 10;
-  Summary latency_min;
-  int delivered = 0;
-  const TimePoint t_crash = cluster.sim().Now();
-  for (const auto& g : groups) {
-    bool affected = false;
-    for (size_t m : g.members) {
-      affected = affected || (m >= machine_first && m < machine_last);
-    }
-    if (!affected) {
-      continue;
-    }
-    for (size_t m : g.members) {
-      if (m >= machine_first && m < machine_last) {
-        continue;  // will be dead
-      }
-      ++res.expected_notifications;
-      cluster.node(m).fuse()->RegisterFailureHandler(
-          g.id, [&cluster, &latency_min, &delivered, t_crash](FuseId) {
-            latency_min.Add((cluster.sim().Now() - t_crash).ToSecondsF() / 60.0);
-            ++delivered;
-          });
-    }
-  }
-  for (size_t m = machine_first; m < machine_last; ++m) {
-    cluster.Crash(m);
-  }
-  cluster.sim().RunFor(Duration::Minutes(10));
-  res.delivered_notifications = delivered;
-  res.notify_p50_min = latency_min.Count() > 0 ? latency_min.Median() : 0;
-  res.notify_max_min = latency_min.Count() > 0 ? latency_min.Max() : 0;
-  return res;
-}
-
-void PrintResult(const ScaleResult& r, bool with_groups) {
-  std::printf("\n--- %d nodes ---\n", r.nodes);
-  std::printf("  build wall time          : %8.2f s\n", r.build_wall_s);
-  std::printf("  avg distinct neighbors   : %8.1f\n", r.avg_neighbors);
-  std::printf("  steady-state sim events  : %8llu in 60 sim-s\n",
-              static_cast<unsigned long long>(r.steady_events));
-  std::printf("  events / wall second     : %8.0f\n", r.steady_events_per_wall_s);
-  std::printf("  messages / sim second    : %8.0f\n", r.steady_msgs_per_sim_s);
-  std::printf("  pending timers at rest   : %8zu\n", r.pending_timers);
-  if (with_groups) {
-    std::printf("  groups created           : %8d\n", r.groups);
-    std::printf("  crash notifications      : %d of %d delivered\n", r.delivered_notifications,
-                r.expected_notifications);
-    std::printf("  notification latency     : p50 = %.2f min, max = %.2f min\n", r.notify_p50_min,
-                r.notify_max_min);
-  }
-}
-
-void WriteJson(const std::string& path, const std::vector<ScaleResult>& results,
-               bool with_groups) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"scale\",\n  \"results\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ScaleResult& r = results[i];
-    std::fprintf(f,
-                 "    {\"nodes\": %d, \"build_wall_s\": %.3f, \"avg_neighbors\": %.2f,\n"
-                 "     \"steady_events\": %llu, \"events_per_wall_s\": %.0f,\n"
-                 "     \"msgs_per_sim_s\": %.1f, \"pending_timers\": %zu",
-                 r.nodes, r.build_wall_s, r.avg_neighbors,
-                 static_cast<unsigned long long>(r.steady_events), r.steady_events_per_wall_s,
-                 r.steady_msgs_per_sim_s, r.pending_timers);
-    if (with_groups) {
-      std::fprintf(f,
-                   ",\n     \"groups\": %d, \"expected_notifications\": %d,\n"
-                   "     \"delivered_notifications\": %d, \"notify_p50_min\": %.3f,\n"
-                   "     \"notify_max_min\": %.3f",
-                   r.groups, r.expected_notifications, r.delivered_notifications,
-                   r.notify_p50_min, r.notify_max_min);
-    }
-    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path.c_str());
-}
-
-}  // namespace
+#include "bench/scale_bench.h"
 
 int main(int argc, char** argv) {
+  using namespace fuse::bench;
+
   bool smoke = false;
   std::string json_path;
   std::vector<int> scales;
+  ScaleOptions opt;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      opt.shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opt.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--coalesce") == 0) {
+      opt.coalesce = true;
     } else {
       scales.push_back(std::atoi(argv[i]));
     }
@@ -197,17 +52,17 @@ int main(int argc, char** argv) {
   if (scales.empty()) {
     scales = smoke ? std::vector<int>{10000} : std::vector<int>{1000, 4000, 10000};
   }
-  const bool with_groups = !smoke;
+  opt.with_groups = !smoke;
 
   Header("Scale: timer-wheel event core at 1k-10k virtual nodes",
          "ROADMAP 'Scale the simulator' (beyond paper section 7.1's 400 nodes)");
   std::vector<ScaleResult> results;
   for (int n : scales) {
-    results.push_back(RunScale(n, with_groups));
-    PrintResult(results.back(), with_groups);
+    results.push_back(RunScale(n, opt));
+    PrintScaleResult(results.back(), opt.with_groups);
   }
   if (!json_path.empty()) {
-    WriteJson(json_path, results, with_groups);
+    WriteScaleJson(json_path, results, opt.with_groups);
   }
   return 0;
 }

@@ -53,6 +53,15 @@ class Metrics {
 
   void Reset();
 
+  // Accumulates another instance's counters into this one. The sharded
+  // simulator keeps one Metrics per shard and aggregates at read time.
+  void AddFrom(const Metrics& other) {
+    for (size_t i = 0; i < counters_.size(); ++i) {
+      counters_[i].messages += other.counters_[i].messages;
+      counters_[i].bytes += other.counters_[i].bytes;
+    }
+  }
+
   // Multi-line "category messages bytes" table.
   std::string Report() const;
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <set>
 
+#include "runtime/sharded_sim_cluster.h"
 #include "runtime/sim_cluster.h"
 
 namespace fuse {
@@ -48,7 +49,10 @@ FuzzRunResult RunSchedule(const FaultSchedule& schedule, const FuzzRunOptions& o
   cfg.seed = schedule.seed * 2654435761ULL + 0x9e3779b9ULL;
   cfg.topology.num_as = 40;  // small physical topology: schedule throughput
   cfg.cost = CostModel::Simulator();
-  SimCluster cluster(cfg);
+  cfg.num_shards = options.num_shards;
+  cfg.threads = options.threads;
+  const std::unique_ptr<ClusterHarness> cluster_ptr = MakeSimCluster(cfg);
+  ClusterHarness& cluster = *cluster_ptr;
   cluster.Build();
 
   // Group membership is derived from the schedule seed alone (not the sim

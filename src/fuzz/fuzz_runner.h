@@ -35,6 +35,13 @@ struct FuzzRunOptions {
   // a duplicate-delivery violation the shrinker must minimize.
   bool plant_duplicate_watch = false;
 
+  // Simulator backend (see MakeSimCluster): 0 runs the classic
+  // single-threaded engine; >= 1 runs the sharded engine with that many
+  // shards and `threads` workers. The oracle verdict and QoS counters are a
+  // function of (schedule, num_shards) only — never of threads.
+  int num_shards = 0;
+  int threads = 1;
+
   // Virtual-time bounds (the simulator's analytic detection bound, as in
   // runtime/scenario.cc).
   Duration settle = Duration::Minutes(2);

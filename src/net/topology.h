@@ -79,6 +79,13 @@ class Topology {
   // the core hierarchy). Same router => a single local hop.
   PathInfo GetPath(RouterId a, RouterId b) const;
 
+  // AS-core to AS-core one-way latency in microseconds (0 for a == b). Used
+  // by the sharded simulator's lookahead computation, which needs the
+  // AS-level component of GetPath without enumerating router pairs.
+  uint32_t AsLatencyUs(uint32_t as_a, uint32_t as_b) const {
+    return as_a == as_b ? 0 : as_lat_us_[static_cast<size_t>(as_a) * num_as_ + as_b];
+  }
+
  private:
   Topology() = default;
 

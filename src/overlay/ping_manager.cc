@@ -9,12 +9,17 @@ namespace {
 constexpr size_t kPingHeaderBytes = 8;
 }  // namespace
 
-PingManager::PingManager(Transport* transport, Duration period, Duration timeout)
-    : transport_(transport), period_(period), timeout_(timeout) {
+PingManager::PingManager(Transport* transport, Duration period, Duration timeout, bool coalesce)
+    : transport_(transport), period_(period), timeout_(timeout), coalesce_(coalesce) {
   transport_->RegisterHandler(msgtype::kOverlayPing,
                               [this](const WireMessage& m) { OnPing(m); });
   transport_->RegisterHandler(msgtype::kOverlayPingReply,
                               [this](const WireMessage& m) { OnPingReply(m); });
+  if (coalesce_) {
+    round_timer_.Bind(transport_->env());
+    round_timeout_.Bind(transport_->env());
+    round_timeout_.SetCallback([this] { OnRoundTimeout(); });
+  }
 }
 
 PingManager::~PingManager() { Stop(); }
@@ -24,6 +29,14 @@ void PingManager::Start() {
     return;
   }
   running_ = true;
+  if (coalesce_) {
+    // One jittered phase for the whole batch: the cluster's rounds spread
+    // over the period even though each node's pings leave together.
+    const Duration phase =
+        Duration::Micros(transport_->env().rng().UniformInt(0, period_.ToMicros()));
+    round_timer_.Start(phase, period_, [this] { SendRound(); });
+    return;
+  }
   peers_.ForEach([this](uint64_t key, Peer& peer) {
     if (!peer.ping.running() && !peer.failed) {
       StartPeerPings(HostId(key));
@@ -36,6 +49,12 @@ void PingManager::Stop() {
     return;
   }
   running_ = false;
+  if (coalesce_) {
+    round_timer_.Stop();
+    round_timeout_.Cancel();
+    peers_.ForEach([](uint64_t, Peer& peer) { peer.awaiting = false; });
+    return;
+  }
   peers_.ForEach([](uint64_t, Peer& peer) {
     peer.ping.Stop();
     peer.timeout.Cancel();
@@ -54,6 +73,9 @@ void PingManager::UpdateNeighbors(const std::vector<HostId>& neighbors) {
     }
     Peer& p = peers_.FindOrInsert(h.value);
     p.wanted_epoch = wanted_epoch_;
+    if (coalesce_) {
+      continue;  // no per-peer timers: the next round picks the peer up
+    }
     p.ping.Bind(transport_->env());
     p.timeout.Bind(transport_->env());
     // The timeout callback is installed once; every subsequent ping just
@@ -92,6 +114,16 @@ void PingManager::SendPing(HostId peer) {
   if (p == nullptr || p->failed || !running_) {
     return;
   }
+  // Keep the earliest outstanding deadline: if timeout >= period, a new
+  // periodic send must not push out the failure verdict for the previous,
+  // still-unanswered ping (a dead peer would never time out otherwise).
+  if (!p->timeout.pending()) {
+    p->timeout.Restart(timeout_);
+  }
+  SendPingTo(peer);
+}
+
+void PingManager::SendPingTo(HostId peer) {
   const uint64_t seq = next_seq_++;
 
   scratch_.Clear();
@@ -106,17 +138,75 @@ void PingManager::SendPing(HostId peer) {
   msg.category = MsgCategory::kOverlayPing;
   msg.payload = scratch_.TakeShared();
 
-  // Keep the earliest outstanding deadline: if timeout >= period, a new
-  // periodic send must not push out the failure verdict for the previous,
-  // still-unanswered ping (a dead peer would never time out otherwise).
-  if (!p->timeout.pending()) {
-    p->timeout.Restart(timeout_);
-  }
   transport_->Send(std::move(msg), [this, peer](const Status& s) {
     if (!s.ok()) {
       HandleFailure(peer);
     }
   });
+}
+
+void PingManager::SendRound() {
+  if (!running_) {
+    return;
+  }
+  // Snapshot the batch first: a synchronous send failure can reach client
+  // code that mutates peers_ (UpdateNeighbors) under our feet.
+  round_scratch_.clear();
+  peers_.ForEach([this](uint64_t key, Peer& peer) {
+    if (!peer.failed) {
+      round_scratch_.push_back(key);
+    }
+  });
+  const TimePoint now = transport_->env().Now();
+  bool armed_any = false;
+  for (const uint64_t key : round_scratch_) {
+    Peer* p = peers_.Find(key);
+    if (p == nullptr || p->failed) {
+      continue;
+    }
+    SendPingTo(HostId(key));
+    p = peers_.Find(key);  // the send's failure callback may have mutated peers_
+    if (p == nullptr || p->failed) {
+      continue;
+    }
+    if (!p->awaiting) {  // earliest-deadline rule, as in SendPing
+      p->awaiting = true;
+      p->deadline = now + timeout_;
+      armed_any = true;
+    }
+  }
+  // Invariant: whenever any peer is awaiting, round_timeout_ is pending (at
+  // or before the earliest deadline) — so a non-pending timer here means the
+  // batch's fresh deadline is the earliest.
+  if (armed_any && !round_timeout_.pending()) {
+    round_timeout_.Restart(timeout_);
+  }
+}
+
+void PingManager::OnRoundTimeout() {
+  const TimePoint now = transport_->env().Now();
+  round_scratch_.clear();
+  TimePoint next = TimePoint::Max();
+  peers_.ForEach([&](uint64_t key, Peer& peer) {
+    if (peer.failed || !peer.awaiting) {
+      return;
+    }
+    if (peer.deadline <= now) {
+      round_scratch_.push_back(key);
+    } else if (peer.deadline < next) {
+      next = peer.deadline;
+    }
+  });
+  // Re-arm before reporting: failure handlers may reenter (UpdateNeighbors).
+  // A removed peer at worst leaves one spurious no-op fire behind. Start, not
+  // Restart: inside the timer's own callback the stored function is consumed
+  // (see sim/timer.h), so a self-rearm must supply it again.
+  if (next != TimePoint::Max()) {
+    round_timeout_.Start(next - now, [this] { OnRoundTimeout(); });
+  }
+  for (const uint64_t key : round_scratch_) {
+    HandleFailure(HostId(key));
+  }
 }
 
 void PingManager::OnPing(const WireMessage& msg) {
@@ -156,6 +246,7 @@ void PingManager::OnPingReply(const WireMessage& msg) {
     // timeout >= period several pings can be outstanding; a reply slower
     // than one period must not count as a failure).
     p->timeout.Cancel();
+    p->awaiting = false;
   }
   if (observer_) {
     observer_(msg.from, msg.payload.data() + kPingHeaderBytes,
@@ -170,6 +261,7 @@ void PingManager::HandleFailure(HostId peer) {
   }
   p->ping.Stop();
   p->timeout.Cancel();
+  p->awaiting = false;
   p->failed = true;  // stop pinging; owner removes the peer via UpdateNeighbors
   if (on_failure_) {
     on_failure_(peer);

@@ -47,7 +47,18 @@ class PingManager {
   // connection broke).
   using FailureHandler = std::function<void(HostId neighbor)>;
 
-  PingManager(Transport* transport, Duration period, Duration timeout);
+  // With `coalesce` set, the manager runs ONE phase-jittered periodic timer
+  // that pings every peer in a batch round, plus ONE timeout timer tracking
+  // the earliest outstanding per-peer deadline — 2 armed timers per node
+  // instead of 2 per (node, neighbor), which is what keeps the timer wheels
+  // breathing at 100k nodes. Per-peer semantics are preserved exactly: each
+  // peer's failure verdict still lands `timeout` after its own unanswered
+  // ping (the shared timer re-arms to the next-earliest deadline), and any
+  // reply still disarms that peer. What changes is phasing: all of a node's
+  // pings leave together once per period instead of each on its own jitter,
+  // and a peer added mid-period waits for the next round instead of getting
+  // an immediate jittered first ping.
+  PingManager(Transport* transport, Duration period, Duration timeout, bool coalesce = false);
   ~PingManager();
 
   PingManager(const PingManager&) = delete;
@@ -73,11 +84,22 @@ class PingManager {
     Timer timeout;       // armed while a ping is unanswered; any reply disarms
     bool failed = false; // failure already reported; awaiting removal
     uint64_t wanted_epoch = 0;  // last UpdateNeighbors round that listed us
+    // Coalesced mode only: an unanswered ping is outstanding and its failure
+    // verdict is due at `deadline` (tracked by the shared round_timeout_).
+    bool awaiting = false;
+    TimePoint deadline;
   };
 
   // Begins the peer's periodic ping cycle at a jittered phase.
   void StartPeerPings(HostId peer);
   void SendPing(HostId peer);
+  // Encodes and transmits one ping (no timeout bookkeeping).
+  void SendPingTo(HostId peer);
+  // Coalesced mode: one batch of pings to every live peer.
+  void SendRound();
+  // Coalesced mode: fail every peer whose deadline passed, then re-arm for
+  // the earliest remaining one.
+  void OnRoundTimeout();
   void OnPing(const WireMessage& msg);
   void OnPingReply(const WireMessage& msg);
   void HandleFailure(HostId peer);
@@ -92,8 +114,12 @@ class PingManager {
   uint64_t next_seq_ = 1;
   uint64_t wanted_epoch_ = 0;
   bool running_ = false;
+  const bool coalesce_;
+  PeriodicTimer round_timer_;  // coalesced: one ping batch per period
+  Timer round_timeout_;        // coalesced: earliest outstanding deadline
   Writer scratch_;                // reused encode buffer (capacity stays warm)
   std::vector<uint64_t> doomed_;  // reused reconciliation scratch
+  std::vector<uint64_t> round_scratch_;  // reused batch scratch (coalesced)
 };
 
 }  // namespace fuse

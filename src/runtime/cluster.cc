@@ -51,7 +51,12 @@ void ClusterHarness::JoinFirstInContext(size_t i) { nodes_[i]->overlay()->JoinAs
 
 void ClusterHarness::JoinInContext(size_t i, size_t boot,
                                    std::function<void(const Status&)> done) {
-  nodes_[i]->overlay()->Join(hosts_[boot], std::move(done));
+  // The completion mutates harness bookkeeping (Build's batch counters), so
+  // it is deferred to a context where that is safe on every backend.
+  nodes_[i]->overlay()->Join(
+      hosts_[boot], [this, done = std::move(done)](const Status& s) {
+        deploy_->Defer([done, s] { done(s); });
+      });
 }
 
 void ClusterHarness::StartMaintenanceInContext(size_t i) {
@@ -85,12 +90,16 @@ void ClusterHarness::ReviveNodeInContext(size_t i, size_t boot) {
 
 void ClusterHarness::CreateGroupInContext(size_t root, std::vector<NodeRef> members,
                                           std::function<void(const Status&, FuseId)> cb) {
-  nodes_[root]->fuse()->CreateGroup(std::move(members), std::move(cb));
+  nodes_[root]->fuse()->CreateGroup(
+      std::move(members), [this, cb = std::move(cb)](const Status& s, FuseId id) {
+        deploy_->Defer([cb, s, id] { cb(s, id); });
+      });
 }
 
 void ClusterHarness::WatchGroupMemberInContext(size_t m, FuseId id,
                                                std::function<void()> on_fire) {
-  nodes_[m]->fuse()->RegisterFailureHandler(id, [fire = std::move(on_fire)](FuseId) { fire(); });
+  nodes_[m]->fuse()->RegisterFailureHandler(
+      id, [this, fire = std::move(on_fire)](FuseId) { deploy_->Defer(fire); });
 }
 
 void ClusterHarness::Build() {

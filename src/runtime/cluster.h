@@ -93,6 +93,13 @@ class Deployment {
   // thread. The deployment must still accept Schedule/Cancel calls (node
   // and timer destructors issue them) without running anything.
   virtual void PrepareTeardown() {}
+
+  // Defers a harness-level upcall (join completion, group-create result,
+  // failure-watch fire) to a point where it may safely touch harness-shared
+  // state. Single-context backends run it immediately; the sharded simulator
+  // records it on the executing shard and replays it on the control thread at
+  // the next epoch barrier, in deterministic (time, shard, seq) order.
+  virtual void Defer(std::function<void()> fn) { fn(); }
 };
 
 // Deployment-independent slice of a cluster configuration.

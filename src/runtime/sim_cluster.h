@@ -31,6 +31,13 @@ struct ClusterConfig {
   int hosts_per_machine = 1;
   // Nodes joined concurrently during Build (smaller = slower but gentler).
   int join_batch = 16;
+  // Backend selector for MakeSimCluster (runtime/sharded_sim_cluster.h):
+  // 0 = the classic single-threaded SimCluster; >= 1 = the sharded parallel
+  // simulator with this many shards. The trace is a function of
+  // (seed, num_shards); `threads` only sets the worker pool size and never
+  // affects the schedule.
+  int num_shards = 0;
+  int threads = 1;
 
   // Preset for large-scale runs (1k-10k+ virtual nodes, well past the
   // paper's 400): simulator cost model, the paper's 10-nodes-per-machine

@@ -169,6 +169,7 @@ TimerId EventQueue::ScheduleAt(TimePoint t, EventFn fn) {
   const uint32_t generation = pool_[index].generation;
   Place(Ref{index, generation});
   ++live_count_;
+  ++scheduled_;
   // Pack (generation, index) into the id; see Cancel.
   return TimerId((uint64_t{generation} << 32) | index);
 }
@@ -209,6 +210,7 @@ bool EventQueue::Cancel(TimerId id) {
   ReleaseEvent(index);
   FUSE_CHECK(live_count_ > 0) << "cancel with no live events";
   --live_count_;
+  ++cancelled_;
   return true;
 }
 
@@ -250,7 +252,41 @@ void EventQueue::RunUntil(TimePoint t) {
   cursor_ = std::max(cursor_, SlotOf(now_, 0));
 }
 
+void EventQueue::RunUntilBefore(TimePoint t) {
+  while (FillDue() && due_.top().when < t) {
+    PopAndRun();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+  // Same cursor sync as RunUntil. Every remaining pending event has
+  // when >= t: wheel/overflow entries keep slot0 >= cursor_, and any due-heap
+  // entry at exactly t already satisfied slot0 < cursor_ before the bump.
+  cursor_ = std::max(cursor_, SlotOf(now_, 0));
+}
+
 void EventQueue::RunFor(Duration d) { RunUntil(now_ + d); }
+
+TimePoint EventQueue::NextEventTime() {
+  if (!FillDue()) {
+    return TimePoint::Max();
+  }
+  return due_.top().when;
+}
+
+EventQueue::Stats EventQueue::GetStats() const {
+  Stats s;
+  s.scheduled = scheduled_;
+  s.executed = executed_;
+  s.cancelled = cancelled_;
+  s.pending = live_count_;
+  for (int level = 0; level < kLevels; ++level) {
+    s.wheel_live[level] = level_refs_[level];
+  }
+  s.due_size = due_.size();
+  s.overflow_size = overflow_.size();
+  return s;
+}
 
 size_t EventQueue::RunAll(size_t max_events) {
   size_t n = 0;

@@ -72,6 +72,13 @@ class EventQueue {
   // Runs all events with time <= t, then advances the clock to exactly t.
   void RunUntil(TimePoint t);
 
+  // Runs all events with time strictly < t, then advances the clock to
+  // exactly t. Events pending at exactly t stay queued and fire first on the
+  // next run call. This is the epoch primitive for the sharded simulator:
+  // each shard runs [now, epoch_end) in isolation, and cross-shard messages
+  // injected afterwards may legally land at exactly epoch_end.
+  void RunUntilBefore(TimePoint t);
+
   // Convenience: RunUntil(Now + d).
   void RunFor(Duration d);
 
@@ -79,9 +86,27 @@ class EventQueue {
   // number of events executed.
   size_t RunAll(size_t max_events = SIZE_MAX);
 
+  // Time of the earliest pending event, or TimePoint::Max() if none. May
+  // advance the wheel cursor (never the clock); idempotent and safe to call
+  // between run calls.
+  TimePoint NextEventTime();
+
   bool Empty() const { return live_count_ == 0; }
   size_t PendingCount() const { return live_count_; }
   uint64_t ExecutedCount() const { return executed_; }
+
+  // Introspection counters for timer-pressure reporting (scale benches
+  // compare these before/after ping coalescing).
+  struct Stats {
+    uint64_t scheduled = 0;  // total ScheduleAt/After calls ever
+    uint64_t executed = 0;   // total events fired
+    uint64_t cancelled = 0;  // total successful Cancels
+    size_t pending = 0;      // live entries right now
+    size_t wheel_live[3] = {0, 0, 0};  // live entries per wheel level
+    size_t due_size = 0;       // due-heap refs (includes lazily-dead ones)
+    size_t overflow_size = 0;  // overflow-heap refs (includes dead ones)
+  };
+  Stats GetStats() const;
 
  private:
   // Wheel geometry. kSlotBits slots per level; level L slots span
@@ -190,6 +215,8 @@ class EventQueue {
   uint64_t next_seq_ = 1;
   size_t live_count_ = 0;
   uint64_t executed_ = 0;
+  uint64_t scheduled_ = 0;
+  uint64_t cancelled_ = 0;
 };
 
 }  // namespace fuse

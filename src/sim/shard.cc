@@ -1,0 +1,31 @@
+#include "sim/shard.h"
+
+namespace fuse {
+
+namespace {
+thread_local Shard* tls_current_shard = nullptr;
+}  // namespace
+
+Shard* Shard::Current() { return tls_current_shard; }
+
+Shard::Shard(uint32_t index, uint64_t seed, uint32_t num_shards)
+    : index_(index),
+      num_shards_(num_shards),
+      // Per-shard stream: a splitmix-style mix of the run seed and the shard
+      // index, so the stream depends only on (seed, shard count layout) — not
+      // on which worker thread happens to execute the shard.
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (uint64_t{index} + 1))),
+      outboxes_(num_shards) {}
+
+void Shard::RunEpoch(TimePoint end, bool inclusive) {
+  Shard* const prev = tls_current_shard;
+  tls_current_shard = this;
+  if (inclusive) {
+    queue_.RunUntil(end);
+  } else {
+    queue_.RunUntilBefore(end);
+  }
+  tls_current_shard = prev;
+}
+
+}  // namespace fuse

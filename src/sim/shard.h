@@ -1,0 +1,120 @@
+// Shard: one partition of the sharded discrete-event simulator.
+//
+// A shard owns everything its hosts touch on the hot path — a 3-level
+// timer-wheel event queue, a private RNG stream derived from (seed, shard
+// index), and a Metrics instance — so an epoch's worth of events executes
+// with zero cross-thread sharing. Two cross-shard side channels accumulate
+// during an epoch and are drained by ShardedSim at the barrier:
+//
+//   * outboxes: per-destination-shard vectors of (deliver_at, seq, closure),
+//     the SPSC queues cross-shard WireMessages travel through. Entries carry
+//     a per-source-shard sequence number so the control thread can merge all
+//     outboxes in canonical (deliver_at, src shard, seq) order before
+//     injecting them into destination queues — the property that makes the
+//     global schedule independent of worker-thread count;
+//   * a deferred-upcall log: harness-level callbacks (join completions,
+//     group-create results, failure-watch fires) recorded as
+//     (virtual time, seq, closure) and replayed on the control thread in
+//     canonical (time, shard, seq) order, so callbacks that mutate
+//     harness-shared state never run on a worker thread.
+//
+// Shard::Current() is a thread-local pointer to the shard whose events are
+// executing; it is how Deployment::Defer and the fabric's send path find the
+// shard-local side channels without plumbing a context argument through every
+// protocol callback.
+#ifndef FUSE_SIM_SHARD_H_
+#define FUSE_SIM_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "sim/environment.h"
+#include "sim/event_queue.h"
+
+namespace fuse {
+
+class Shard : public Environment {
+ public:
+  Shard(uint32_t index, uint64_t seed, uint32_t num_shards);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // Environment implementation (the base env for this shard's hosts).
+  TimePoint Now() const override { return queue_.Now(); }
+  TimerId Schedule(Duration d, UniqueFunction fn) override {
+    return queue_.ScheduleAfter(d, std::move(fn));
+  }
+  bool Cancel(TimerId id) override { return queue_.Cancel(id); }
+  Rng& rng() override { return rng_; }
+  Metrics& metrics() override { return metrics_; }
+
+  uint32_t index() const { return index_; }
+  uint32_t num_shards() const { return num_shards_; }
+  EventQueue& queue() { return queue_; }
+  const EventQueue& queue() const { return queue_; }
+
+  // The shard whose events are executing on this thread, or nullptr when the
+  // caller is in control/barrier context.
+  static Shard* Current();
+
+  // Records a harness upcall to replay on the control thread at the next
+  // barrier (canonical order: (recorded time, shard index, record seq)).
+  void DeferUpcall(std::function<void()> fn) {
+    deferred_.push_back(Deferred{Now(), next_defer_seq_++, std::move(fn)});
+  }
+
+  // Queues `fn` for injection into shard `dst`'s event queue at the next
+  // barrier, to fire at `deliver_at`. `deliver_at` must be at or past the
+  // epoch boundary — guaranteed by the conservative lookahead (any cross-
+  // shard message sent during [B, E) arrives >= send time + lookahead >= E).
+  void PushCrossShard(uint32_t dst, TimePoint deliver_at, UniqueFunction fn) {
+    outboxes_[dst].push_back(CrossMsg{deliver_at, next_cross_seq_++, std::move(fn)});
+  }
+
+  // --- ShardedSim internals (control thread / assigned worker only) ---
+
+  struct Deferred {
+    TimePoint when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct CrossMsg {
+    TimePoint deliver_at;
+    uint64_t seq;
+    UniqueFunction fn;
+  };
+
+  // Runs this shard's events in [Now, end) — or [Now, end] when `inclusive` —
+  // with Current() set for the duration, then parks the clock at `end`.
+  void RunEpoch(TimePoint end, bool inclusive);
+
+  TimePoint NextEventTime() { return queue_.NextEventTime(); }
+
+  bool HasDeferred() const { return !deferred_.empty(); }
+  std::vector<Deferred> TakeDeferred() {
+    std::vector<Deferred> out = std::move(deferred_);
+    deferred_.clear();
+    return out;
+  }
+  std::vector<CrossMsg>& outbox(uint32_t dst) { return outboxes_[dst]; }
+
+ private:
+  const uint32_t index_;
+  const uint32_t num_shards_;
+  EventQueue queue_;
+  Rng rng_;
+  Metrics metrics_;
+  std::vector<Deferred> deferred_;
+  std::vector<std::vector<CrossMsg>> outboxes_;  // one per destination shard
+  uint64_t next_defer_seq_ = 0;
+  uint64_t next_cross_seq_ = 0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_SIM_SHARD_H_
