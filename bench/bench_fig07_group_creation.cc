@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/metrics.h"
 
 namespace {
 
@@ -19,6 +20,7 @@ std::map<int, fuse::Summary> RunCreation(bool cluster_mode, uint64_t seed) {
   SimCluster cluster(PaperClusterConfig(seed, cluster_mode));
   cluster.Build();
   std::map<int, Summary> by_size;
+  size_t created = 0;
   for (const int size : {2, 4, 8, 16, 32}) {
     for (int g = 0; g < 20; ++g) {
       const auto members = cluster.PickLiveNodes(static_cast<size_t>(size));
@@ -27,9 +29,29 @@ std::map<int, fuse::Summary> RunCreation(bool cluster_mode, uint64_t seed) {
       CreateGroupTimed(cluster, members[0], members, &status, &ms);
       if (status.ok()) {
         by_size[size].Add(ms);
+        ++created;
       }
       cluster.sim().RunFor(Duration::Seconds(2));
     }
+  }
+  // Density/timer-pressure gauges over the groups left alive, published the
+  // same way bench_groups_1m reports them.
+  size_t total_bytes = 0;
+  uint64_t armed = 0;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    total_bytes += cluster.node(i).fuse()->ApproxGroupBytes();
+    armed += cluster.node(i).fuse()->CountArmedGroupTimers();
+  }
+  if (created > 0) {
+    Metrics& metrics = cluster.env().metrics();
+    metrics.SetGauge(Gauge::kBytesPerGroup,
+                     static_cast<double>(total_bytes) / static_cast<double>(created));
+    metrics.SetGauge(Gauge::kArmedTimersPerGroup,
+                     static_cast<double>(armed) / static_cast<double>(created));
+    std::printf("  [%s] %s=%.1f %s=%.2f over %zu groups\n",
+                cluster_mode ? "cluster" : "simulator", GaugeName(Gauge::kBytesPerGroup),
+                metrics.GetGauge(Gauge::kBytesPerGroup), GaugeName(Gauge::kArmedTimersPerGroup),
+                metrics.GetGauge(Gauge::kArmedTimersPerGroup), created);
   }
   return by_size;
 }

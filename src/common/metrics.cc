@@ -40,6 +40,18 @@ const char* MsgCategoryName(MsgCategory c) {
   return "unknown";
 }
 
+const char* GaugeName(Gauge g) {
+  switch (g) {
+    case Gauge::kBytesPerGroup:
+      return "bytes_per_group";
+    case Gauge::kArmedTimersPerGroup:
+      return "armed_timers_per_group";
+    case Gauge::kCount:
+      break;
+  }
+  return "unknown";
+}
+
 uint64_t Metrics::TotalMessages() const {
   uint64_t total = 0;
   for (const auto& e : counters_) {
@@ -56,7 +68,10 @@ uint64_t Metrics::TotalBytes() const {
   return total;
 }
 
-void Metrics::Reset() { counters_.fill(Entry{}); }
+void Metrics::Reset() {
+  counters_.fill(Entry{});
+  gauges_.fill(0.0);
+}
 
 std::string Metrics::Report() const {
   std::string out;
@@ -76,6 +91,14 @@ std::string Metrics::Report() const {
                 static_cast<unsigned long long>(TotalMessages()),
                 static_cast<unsigned long long>(TotalBytes()));
   out += buf;
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i] == 0.0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-24s %14.2f\n", GaugeName(static_cast<Gauge>(i)),
+                  gauges_[i]);
+    out += buf;
+  }
   return out;
 }
 

@@ -35,6 +35,17 @@ enum class MsgCategory : int {
 
 const char* MsgCategoryName(MsgCategory c);
 
+// Point-in-time state gauges, alongside the monotonic message counters. The
+// group fast-path benches report memory density and timer pressure through
+// these so the perf baseline can band them.
+enum class Gauge : int {
+  kBytesPerGroup = 0,       // approx heap bytes of group state / live groups
+  kArmedTimersPerGroup,     // armed FUSE-layer timers / live groups
+  kCount,
+};
+
+const char* GaugeName(Gauge g);
+
 class Metrics {
  public:
   void IncMessage(MsgCategory c, uint64_t bytes) {
@@ -50,6 +61,11 @@ class Metrics {
 
   uint64_t TotalMessages() const;
   uint64_t TotalBytes() const;
+
+  // Gauges are last-writer-wins snapshots (AddFrom does not sum them; a
+  // ratio like bytes/group does not aggregate by addition).
+  void SetGauge(Gauge g, double value) { gauges_[static_cast<size_t>(g)] = value; }
+  double GetGauge(Gauge g) const { return gauges_[static_cast<size_t>(g)]; }
 
   void Reset();
 
@@ -80,6 +96,7 @@ class Metrics {
     uint64_t bytes = 0;
   };
   std::array<Entry, static_cast<size_t>(MsgCategory::kCount)> counters_{};
+  std::array<double, static_cast<size_t>(Gauge::kCount)> gauges_{};
 };
 
 }  // namespace fuse

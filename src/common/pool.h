@@ -55,6 +55,7 @@ class Pool {
     }
     return &entries_[r.index].value;
   }
+  const T* Get(Ref r) const { return const_cast<Pool*>(this)->Get(r); }
 
   // Releases a live entry: bumps the generation (staling every outstanding
   // ref) and resets the value so held resources are dropped now. Releasing

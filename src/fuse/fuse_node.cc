@@ -67,48 +67,185 @@ void FuseNode::Shutdown() {
   overlay_->SetPingPayloadProvider(nullptr);
   overlay_->SetPingPayloadObserver(nullptr);
   overlay_->SetNeighborFailureHandler(nullptr);
+  peer_sweep_.Cancel();
   // Every timer is an RAII handle owned by the state being dropped here.
-  groups_.clear();
+  group_index_ = Flat128Map<GroupRef>();
+  group_pool_ = Pool<GroupState>();
   creating_.clear();
   links_by_peer_.clear();
 }
 
 FuseNode::GroupState* FuseNode::Find(FuseId id) {
-  const auto it = groups_.find(id);
-  return it == groups_.end() ? nullptr : &it->second;
+  const GroupRef* ref = group_index_.Find(id.hi, id.lo);
+  return ref == nullptr ? nullptr : group_pool_.Get(*ref);
+}
+
+const FuseNode::GroupState* FuseNode::Find(FuseId id) const {
+  return const_cast<FuseNode*>(this)->Find(id);
+}
+
+FuseNode::GroupState& FuseNode::Emplace(GroupState&& g) {
+  const FuseId id = g.id;
+  const GroupRef ref = group_pool_.Alloc();  // invalidates outstanding GroupState*
+  *group_pool_.Get(ref) = std::move(g);
+  group_index_.FindOrInsert(id.hi, id.lo) = ref;
+  return *group_pool_.Get(ref);
+}
+
+FuseNode::LinkEntry* FuseNode::FindLink(GroupState& g, HostId peer) {
+  for (LinkEntry& link : g.links) {
+    if (link.peer == peer) {
+      return &link;
+    }
+  }
+  return nullptr;
+}
+
+const FuseNode::LinkEntry* FuseNode::FindLink(const GroupState& g, HostId peer) const {
+  return const_cast<FuseNode*>(this)->FindLink(const_cast<GroupState&>(g), peer);
+}
+
+FuseNode::RepairAux& FuseNode::Aux(GroupState& g) {
+  if (g.aux == nullptr) {
+    g.aux = std::make_unique<RepairAux>();
+  }
+  return *g.aux;
+}
+
+void FuseNode::MaybeTrimAux(GroupState& g) {
+  if (g.aux == nullptr) {
+    return;
+  }
+  const RepairAux& a = *g.aux;
+  // Roots that have repaired keep their aux: repair_backoff/last_repair_time
+  // must survive between rounds or the exponential backoff (paper 6.5) would
+  // reset every time the tree heals.
+  if (a.repair == nullptr && !a.rerepair_requested && a.install_pending.empty() &&
+      !a.install_timer.pending() && !a.scheduled_repair.pending() &&
+      !a.member_repair_timer.pending() && a.last_repair_time == TimePoint()) {
+    g.aux.reset();
+  }
 }
 
 std::string FuseNode::DebugGroupState(FuseId id) const {
-  const auto it = groups_.find(id);
-  if (it == groups_.end()) {
+  const GroupState* g = Find(id);
+  if (g == nullptr) {
     return "";
   }
-  const GroupState& g = it->second;
-  std::string s = g.is_root ? "root" : g.is_member ? "member" : "delegate";
-  s += " seq=" + std::to_string(g.seq);
+  std::string s = g->is_root ? "root" : g->is_member ? "member" : "delegate";
+  s += " seq=" + std::to_string(g->seq);
   s += " links=[";
   bool first = true;
-  for (const auto& [peer, link] : g.links) {
+  for (const LinkEntry& link : g->links) {
     if (!first) {
       s += " ";
     }
     first = false;
-    s += std::to_string(peer.value) + (link.timer.pending() ? "" : "(idle)");
+    s += std::to_string(link.peer.value);
+    if (!params_.coalesce_group_timers && !link.timer.pending()) {
+      s += "(idle)";
+    }
   }
   s += "]";
-  if (!g.install_pending.empty()) {
-    s += " install_pending=" + std::to_string(g.install_pending.size());
+  if (g->aux != nullptr) {
+    if (!g->aux->install_pending.empty()) {
+      s += " install_pending=" + std::to_string(g->aux->install_pending.size());
+    }
+    if (g->aux->repair != nullptr) {
+      s += " repairing";
+    }
+    if (g->aux->member_repair_timer.pending()) {
+      s += " member_repair_armed";
+    }
   }
-  if (g.repair != nullptr) {
-    s += " repairing";
-  }
-  if (g.member_repair_timer.pending()) {
-    s += " member_repair_armed";
-  }
-  if (!g.backstop.pending()) {
+  if (params_.coalesce_group_timers) {
+    s += " coalesced";
+  } else if (!g->backstop.pending()) {
     s += " BACKSTOP-IDLE";
   }
   return s;
+}
+
+size_t FuseNode::ApproxGroupBytes() const {
+  // Deliberately an estimate from container sizes (not an allocator hook):
+  // deterministic for a deterministic run, which lets the bench gauges sit
+  // in the perf baseline.
+  size_t total = 0;
+  total += group_index_.size() * (2 * sizeof(uint64_t) + sizeof(GroupRef) + 1);
+  group_index_.ForEach([&](uint64_t, uint64_t, const GroupRef& ref) {
+    const GroupState* g = group_pool_.Get(ref);
+    if (g == nullptr) {
+      return;
+    }
+    total += sizeof(GroupState);
+    total += g->links.capacity() * sizeof(LinkEntry);
+    total += g->members.capacity() * sizeof(NodeRef);
+    for (const auto& m : g->members) {
+      total += m.name.capacity();
+    }
+    total += g->root.name.capacity();
+    if (g->aux != nullptr) {
+      total += sizeof(RepairAux);
+    }
+  });
+  for (const auto& [peer, pl] : links_by_peer_) {
+    // Red-black tree node: key + parent/left/right pointers + color word.
+    total += sizeof(PeerLinks) + pl.ids.size() * (sizeof(FuseId) + 4 * sizeof(void*));
+  }
+  return total;
+}
+
+size_t FuseNode::CountArmedGroupTimers() const {
+  size_t n = 0;
+  group_index_.ForEach([&](uint64_t, uint64_t, const GroupRef& ref) {
+    const GroupState* g = group_pool_.Get(ref);
+    if (g == nullptr) {
+      return;
+    }
+    if (g->backstop.pending()) {
+      ++n;
+    }
+    for (const LinkEntry& link : g->links) {
+      if (link.timer.pending()) {
+        ++n;
+      }
+    }
+    if (g->aux != nullptr) {
+      const RepairAux& a = *g->aux;
+      if (a.member_repair_timer.pending()) {
+        ++n;
+      }
+      if (a.install_timer.pending()) {
+        ++n;
+      }
+      if (a.scheduled_repair.pending()) {
+        ++n;
+      }
+      if (a.repair != nullptr && a.repair->timer.pending()) {
+        ++n;
+      }
+    }
+  });
+  if (peer_sweep_.pending()) {
+    ++n;
+  }
+  return n;
+}
+
+bool FuseNode::DebugVerifyLinkDigests() const {
+  if (!params_.incremental_link_digest) {
+    return true;
+  }
+  for (const auto& [peer, pl] : links_by_peer_) {
+    Sha1Digest expect{};
+    for (const FuseId& id : pl.ids) {
+      XorInto(expect, id);
+    }
+    if (expect != pl.digest) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -133,7 +270,7 @@ void FuseNode::CreateGroup(std::vector<NodeRef> members, CreateCallback cb) {
     GroupState g;
     g.id = id;
     g.is_root = true;
-    groups_.emplace(id, std::move(g));
+    Emplace(std::move(g));
     stats_.groups_created++;
     env.Schedule(Duration::Zero(), [cb = std::move(cb), id] { cb(Status::Ok(), id); });
     return;
@@ -190,20 +327,21 @@ void FuseNode::FinishCreate(FuseId id, const Status& status) {
   g.id = id;
   g.is_root = true;
   g.members = p.members;
+  std::set<std::string> install_pending;
   for (const auto& m : p.members) {
     if (!p.installed_early.contains(m.name)) {
-      g.install_pending.insert(m.name);
+      install_pending.insert(m.name);
     }
   }
-  auto [git, inserted] = groups_.emplace(id, std::move(g));
-  GroupState& gs = git->second;
-  (void)inserted;
+  GroupState& gs = Emplace(std::move(g));
   for (HostId peer : p.early_links) {
     AddLink(gs, peer, /*seq=*/0);
   }
-  if (!gs.install_pending.empty()) {
-    gs.install_timer.Bind(transport_->env());
-    gs.install_timer.Start(params_.install_timeout, [this, id] { RootScheduleRepair(id); });
+  if (!install_pending.empty()) {
+    RepairAux& aux = Aux(gs);
+    aux.install_pending = std::move(install_pending);
+    aux.install_timer.Bind(transport_->env());
+    aux.install_timer.Start(params_.install_timeout, [this, id] { RootScheduleRepair(id); });
   }
   ArmBackstop(gs);
   stats_.groups_created++;
@@ -263,8 +401,7 @@ void FuseNode::OnCreateRequest(const WireMessage& msg) {
     g.id = id;
     g.is_member = true;
     g.root = root;
-    groups_.emplace(id, std::move(g));
-    GroupState& gs = *Find(id);
+    GroupState& gs = Emplace(std::move(g));
     ArmBackstop(gs);
     SendInstallChecking(gs);
   } else {
@@ -338,14 +475,17 @@ bool FuseNode::OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall) {
     // the last hop.
     GroupState* g = Find(id);
     if (g != nullptr && g->is_root) {
-      if (seq == g->seq) {
-        g->install_pending.erase(member.name);
-        if (g->install_pending.empty()) {
-          g->install_timer.Cancel();
-          if (g->repair == nullptr && g->rerepair_requested) {
+      if (seq == g->seq && g->aux != nullptr) {
+        RepairAux& aux = *g->aux;
+        aux.install_pending.erase(member.name);
+        if (aux.install_pending.empty()) {
+          aux.install_timer.Cancel();
+          if (aux.repair == nullptr && aux.rerepair_requested) {
             // The tree looks complete, but a member complained while it was
             // being rebuilt — run another round.
             RootScheduleRepair(id);
+          } else if (aux.repair == nullptr) {
+            MaybeTrimAux(*g);
           }
         }
       }
@@ -394,8 +534,7 @@ bool FuseNode::OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall) {
     GroupState fresh;
     fresh.id = id;
     fresh.seq = seq;
-    groups_.emplace(id, std::move(fresh));
-    g = Find(id);
+    g = &Emplace(std::move(fresh));
   }
   if (seq < g->seq) {
     return false;  // stale path install
@@ -410,13 +549,36 @@ bool FuseNode::OnInstallUpcall(const SkipNetNode::RoutedUpcall& upcall) {
 // Liveness: piggybacked hashes, timers, reconciliation.
 // ---------------------------------------------------------------------------
 
-void FuseNode::AddLinkIndex(FuseId id, HostId peer) { links_by_peer_[peer].insert(id); }
+void FuseNode::XorInto(Sha1Digest& digest, FuseId id) {
+  Sha1 h;
+  h.UpdateU64(id.hi);
+  h.UpdateU64(id.lo);
+  const Sha1Digest d = h.Finish();
+  for (size_t i = 0; i < digest.size(); ++i) {
+    digest[i] ^= d[i];
+  }
+}
+
+void FuseNode::AddLinkIndex(FuseId id, HostId peer) {
+  PeerLinks& pl = links_by_peer_[peer];
+  if (pl.ids.insert(id).second && params_.incremental_link_digest) {
+    XorInto(pl.digest, id);
+  }
+  if (params_.coalesce_group_timers) {
+    // A fresh install counts as hearing from the peer: the sweep must not
+    // tear down a link that never had a chance to confirm a ping.
+    pl.last_refresh = transport_->env().Now();
+    ArmPeerSweep();
+  }
+}
 
 void FuseNode::EraseLinkIndex(FuseId id, HostId peer) {
   const auto it = links_by_peer_.find(peer);
   if (it != links_by_peer_.end()) {
-    it->second.erase(id);
-    if (it->second.empty()) {
+    if (it->second.ids.erase(id) > 0 && params_.incremental_link_digest) {
+      XorInto(it->second.digest, id);  // XOR is self-inverse: this removes it
+    }
+    if (it->second.ids.empty()) {
       links_by_peer_.erase(it);
     }
   }
@@ -426,25 +588,41 @@ void FuseNode::AddLink(GroupState& g, HostId peer, uint32_t seq) {
   if (peer == transport_->local_host() || !peer.valid()) {
     return;
   }
-  LinkState& link = g.links[peer];
-  if (link.installed_at == TimePoint()) {
-    link.installed_at = transport_->env().Now();
+  LinkEntry* link = FindLink(g, peer);
+  if (link == nullptr) {
+    g.links.emplace_back();
+    link = &g.links.back();
+    link->peer = peer;
+    link->installed_at = transport_->env().Now();
   }
-  link.seq = std::max(link.seq, seq);
-  ArmLinkTimer(g.id, peer, link);
+  link->seq = std::max(link->seq, seq);
+  if (params_.coalesce_group_timers) {
+    // No per-link timer: the peer sweep covers it. A participant that just
+    // gained its first link no longer needs the empty-links backstop.
+    AddLinkIndex(g.id, peer);
+    if (g.is_root || g.is_member) {
+      ArmBackstop(g);
+    }
+    return;
+  }
+  ArmLinkTimer(g.id, peer, *link);
   AddLinkIndex(g.id, peer);
 }
 
 void FuseNode::RemoveLink(GroupState& g, HostId peer) {
-  const auto it = g.links.find(peer);
-  if (it == g.links.end()) {
-    return;
+  for (auto it = g.links.begin(); it != g.links.end(); ++it) {
+    if (it->peer == peer) {
+      g.links.erase(it);  // the link timer auto-cancels
+      EraseLinkIndex(g.id, peer);
+      if (params_.coalesce_group_timers && g.links.empty() && (g.is_root || g.is_member)) {
+        ArmBackstop(g);  // last link gone: fall back to the per-group backstop
+      }
+      return;
+    }
   }
-  g.links.erase(it);  // the link timer auto-cancels
-  EraseLinkIndex(g.id, peer);
 }
 
-void FuseNode::ArmLinkTimer(FuseId id, HostId peer, LinkState& link) {
+void FuseNode::ArmLinkTimer(FuseId id, HostId peer, LinkEntry& link) {
   // The callback is installed once per link; every ping-driven refresh
   // afterwards is an allocation-free rearm.
   if (!link.timer.has_callback()) {
@@ -455,6 +633,12 @@ void FuseNode::ArmLinkTimer(FuseId id, HostId peer, LinkState& link) {
 }
 
 void FuseNode::ArmBackstop(GroupState& g) {
+  if (params_.coalesce_group_timers && !g.links.empty()) {
+    // Healthy coalesced path: the per-peer sweep covers this group through
+    // its links; the per-group timer stays disarmed.
+    g.backstop.Cancel();
+    return;
+  }
   if (!g.backstop.has_callback()) {
     const FuseId id = g.id;
     g.backstop.Bind(transport_->env());
@@ -474,16 +658,69 @@ void FuseNode::ArmBackstop(GroupState& g) {
   g.backstop.Restart(params_.link_liveness_timeout);
 }
 
+void FuseNode::ArmPeerSweep() {
+  if (!params_.coalesce_group_timers || shutdown_ || links_by_peer_.empty()) {
+    return;
+  }
+  if (peer_sweep_.pending()) {
+    // Already armed at some earlier min-deadline. Stamps only move forward
+    // and a new peer's deadline (now + timeout) can never undercut a armed
+    // minimum, so the pending fire is always early enough; it rescans and
+    // rearms. Spurious wakeups cost one O(neighbors) scan.
+    return;
+  }
+  TimePoint earliest = TimePoint::Max();
+  for (const auto& [peer, pl] : links_by_peer_) {
+    earliest = std::min(earliest, pl.last_refresh);
+  }
+  const TimePoint now = transport_->env().Now();
+  const TimePoint deadline = earliest + params_.link_liveness_timeout;
+  const Duration delay = deadline > now ? deadline - now : Duration::Zero();
+  peer_sweep_.Bind(transport_->env());
+  // Start (not Restart): this also runs from inside the sweep's own fire,
+  // where the stored callback is temporarily consumed.
+  peer_sweep_.Start(delay, [this] { SweepStalePeers(); });
+}
+
+void FuseNode::SweepStalePeers() {
+  const TimePoint now = transport_->env().Now();
+  // Snapshot the stale (peer, id) pairs first: HandleLinkDown mutates both
+  // the peer table and the group table. Swap-in the pooled scratch so a
+  // reentrant activation owns its own buffer.
+  std::vector<std::pair<HostId, FuseId>> stale = std::move(sweep_scratch_);
+  stale.clear();
+  for (const auto& [peer, pl] : links_by_peer_) {
+    if (now - pl.last_refresh >= params_.link_liveness_timeout) {
+      for (const FuseId& id : pl.ids) {
+        stale.emplace_back(peer, id);
+      }
+    }
+  }
+  for (const auto& [peer, id] : stale) {
+    HandleLinkDown(id, peer);
+  }
+  stale.clear();
+  sweep_scratch_ = std::move(stale);
+  ArmPeerSweep();
+}
+
 // Computes the 20-byte piggyback hash of the link's live FUSE-ID list, or
-// returns false when nothing is monitored on that link. No heap traffic:
-// this runs once per ping sent and received.
+// returns false when nothing is monitored on that link. Classic mode hashes
+// the whole ID list (O(groups-on-link), once per ping sent and received);
+// incremental mode returns the digest maintained at add/remove time. Both
+// encodings are 20 bytes, so the mode changes no message sizes — only which
+// side pays the CPU.
 bool FuseNode::LinkHashFor(HostId neighbor, Sha1Digest* out) {
   const auto it = links_by_peer_.find(neighbor);
-  if (it == links_by_peer_.end() || it->second.empty()) {
+  if (it == links_by_peer_.end() || it->second.ids.empty()) {
     return false;
   }
+  if (params_.incremental_link_digest) {
+    *out = it->second.digest;
+    return true;
+  }
   Sha1 h;
-  for (const FuseId& id : it->second) {
+  for (const FuseId& id : it->second.ids) {
     h.UpdateU64(id.hi);
     h.UpdateU64(id.lo);
   }
@@ -516,14 +753,20 @@ void FuseNode::ResetLinkTimers(HostId neighbor) {
   if (it == links_by_peer_.end()) {
     return;
   }
-  for (const FuseId& id : it->second) {
+  if (params_.coalesce_group_timers) {
+    // O(1) healthy path: one stamp covers every group on the link; the
+    // armed sweep timer needs no adjustment (it rescans on fire).
+    it->second.last_refresh = transport_->env().Now();
+    return;
+  }
+  for (const FuseId& id : it->second.ids) {
     GroupState* g = Find(id);
     if (g == nullptr) {
       continue;
     }
-    const auto lit = g->links.find(neighbor);
-    if (lit != g->links.end()) {
-      ArmLinkTimer(id, neighbor, lit->second);
+    LinkEntry* link = FindLink(*g, neighbor);
+    if (link != nullptr) {
+      ArmLinkTimer(id, neighbor, *link);
     }
     if (g->is_root || g->is_member) {
       ArmBackstop(*g);
@@ -536,10 +779,16 @@ void FuseNode::OnOverlayNeighborFailed(HostId neighbor) {
   if (it == links_by_peer_.end()) {
     return;
   }
-  const std::vector<FuseId> ids(it->second.begin(), it->second.end());
+  // Snapshot into the pooled scratch (swap idiom: HandleLinkDown can cascade
+  // into another neighbor failure, and each activation must own its
+  // snapshot; the innermost one donates the capacity back on return).
+  std::vector<FuseId> ids = std::move(fail_scratch_);
+  ids.assign(it->second.ids.begin(), it->second.ids.end());
   for (const FuseId& id : ids) {
     HandleLinkDown(id, neighbor);
   }
+  ids.clear();
+  fail_scratch_ = std::move(ids);
 }
 
 void FuseNode::HandleLinkDown(FuseId id, HostId peer) {
@@ -548,9 +797,9 @@ void FuseNode::HandleLinkDown(FuseId id, HostId peer) {
     return;
   }
   uint32_t seq = g->seq;
-  const auto lit = g->links.find(peer);
-  if (lit != g->links.end()) {
-    seq = std::max(seq, lit->second.seq);
+  const LinkEntry* link = FindLink(*g, peer);
+  if (link != nullptr) {
+    seq = std::max(seq, link->seq);
   }
   RemoveLink(*g, peer);
   SendSoftToTree(*g, peer, seq);
@@ -601,17 +850,17 @@ std::vector<uint8_t> FuseNode::EncodeLinkList(HostId neighbor) {
     w.PutU32(0);
     return w.Take();
   }
-  w.PutU32(static_cast<uint32_t>(it->second.size()));
-  for (const FuseId& id : it->second) {
+  w.PutU32(static_cast<uint32_t>(it->second.ids.size()));
+  for (const FuseId& id : it->second.ids) {
     WriteFuseId(w, id);
     const GroupState* g = Find(id);
     uint32_t seq = 0;
     uint64_t age_us = 0;
     if (g != nullptr) {
-      const auto lit = g->links.find(neighbor);
-      if (lit != g->links.end()) {
-        seq = lit->second.seq;
-        age_us = static_cast<uint64_t>((now - lit->second.installed_at).ToMicros());
+      const LinkEntry* link = FindLink(*g, neighbor);
+      if (link != nullptr) {
+        seq = link->seq;
+        age_us = static_cast<uint64_t>((now - link->installed_at).ToMicros());
       }
     }
     w.PutU32(seq);
@@ -636,27 +885,39 @@ void FuseNode::ProcessRemoteLinkList(HostId neighbor, Reader& r) {
   if (it == links_by_peer_.end()) {
     return;
   }
-  const std::vector<FuseId> mine(it->second.begin(), it->second.end());
+  const std::vector<FuseId> mine(it->second.ids.begin(), it->second.ids.end());
   const TimePoint now = transport_->env().Now();
+  bool agreed = false;
   for (const FuseId& id : mine) {
     GroupState* g = Find(id);
     if (g == nullptr) {
       continue;
     }
-    const auto lit = g->links.find(neighbor);
-    if (lit == g->links.end()) {
+    LinkEntry* link = FindLink(*g, neighbor);
+    if (link == nullptr) {
       continue;
     }
     if (remote.contains(id)) {
       // Agreement: the tree lives on; reset the timers (paper 6.3).
-      ArmLinkTimer(id, neighbor, lit->second);
-      if (g->is_root || g->is_member) {
-        ArmBackstop(*g);
+      agreed = true;
+      if (!params_.coalesce_group_timers) {
+        ArmLinkTimer(id, neighbor, *link);
+        if (g->is_root || g->is_member) {
+          ArmBackstop(*g);
+        }
       }
-    } else if (now - lit->second.installed_at > params_.grace_period) {
+    } else if (now - link->installed_at > params_.grace_period) {
       // Disagreement beyond the grace period: the neighbor does not believe
       // this liveness tree exists; tear it down on our side.
       HandleLinkDown(id, neighbor);
+    }
+  }
+  if (agreed && params_.coalesce_group_timers) {
+    // One stamp bump covers every agreed group on the link. Re-find: the
+    // HandleLinkDown calls above may have erased and recreated table entries.
+    const auto it2 = links_by_peer_.find(neighbor);
+    if (it2 != links_by_peer_.end()) {
+      it2->second.last_refresh = now;
     }
   }
 }
@@ -686,12 +947,12 @@ void FuseNode::OnReconcileReply(const WireMessage& msg) {
 
 void FuseNode::SendSoftToTree(GroupState& g, HostId except, uint32_t seq) {
   const PayloadBuf payload = EncodeIdSeq(g.id, seq);
-  for (const auto& [peer, link] : g.links) {
-    if (peer == except) {
+  for (const LinkEntry& link : g.links) {
+    if (link.peer == except) {
       continue;
     }
     WireMessage msg;
-    msg.to = peer;
+    msg.to = link.peer;
     msg.type = msgtype::kFuseSoftNotification;
     msg.category = MsgCategory::kFuseSoftNotification;
     msg.payload = payload;
@@ -780,19 +1041,22 @@ void FuseNode::RootFailGroup(GroupState& g) {
 void FuseNode::DeliverLocalFailure(FuseId id) { DropGroup(id, /*deliver_to_app=*/true); }
 
 void FuseNode::DropGroup(FuseId id, bool deliver_to_app) {
-  const auto it = groups_.find(id);
-  if (it == groups_.end()) {
+  const GroupRef* rp = group_index_.Find(id.hi, id.lo);
+  if (rp == nullptr) {
     return;
   }
-  GroupState& g = it->second;
-  // Erasing the group below disarms every timer it owns (links, backstop,
-  // repair machinery); only the peer index needs explicit maintenance.
-  for (auto& [peer, link] : g.links) {
-    EraseLinkIndex(id, peer);
+  const GroupRef ref = *rp;
+  GroupState& g = *group_pool_.Get(ref);
+  // Releasing the pool slot below disarms every timer the group owns (links,
+  // backstop, repair machinery); only the peer index needs explicit
+  // maintenance.
+  for (const LinkEntry& link : g.links) {
+    EraseLinkIndex(id, link.peer);
   }
   const bool was_participant = g.is_root || g.is_member;
   FailureHandler handler = std::move(g.handler);
-  groups_.erase(it);
+  group_index_.Erase(id.hi, id.lo);
+  group_pool_.Release(ref);
   if (was_participant) {
     stats_.groups_failed++;
   }
@@ -807,7 +1071,7 @@ void FuseNode::DropGroup(FuseId id, bool deliver_to_app) {
 // ---------------------------------------------------------------------------
 
 void FuseNode::MemberInitiateRepair(GroupState& g) {
-  if (g.member_repair_timer.pending()) {
+  if (g.aux != nullptr && g.aux->member_repair_timer.pending()) {
     return;  // already waiting for the root
   }
   const FuseId id = g.id;
@@ -822,8 +1086,9 @@ void FuseNode::MemberInitiateRepair(GroupState& g) {
   // the group and frees this GroupState — touching `g` after Send would be a
   // use-after-free. DropGroup disarms the timer along with the rest of the
   // group's state, so arming first is safe in either order.
-  g.member_repair_timer.Bind(transport_->env());
-  g.member_repair_timer.Start(params_.member_repair_timeout, [this, id] {
+  RepairAux& aux = Aux(g);
+  aux.member_repair_timer.Bind(transport_->env());
+  aux.member_repair_timer.Start(params_.member_repair_timeout, [this, id] {
     // No repair response from the root within a minute (paper 6.5 / 7.4):
     // signal locally, best-effort Hard to the root, clean up.
     GroupState* grp = Find(id);
@@ -869,56 +1134,58 @@ void FuseNode::RootScheduleRepair(FuseId id) {
   if (g == nullptr || !g->is_root) {
     return;
   }
-  if (g->repair != nullptr) {
+  RepairAux& aux = Aux(*g);
+  if (aux.repair != nullptr) {
     // A round is already in flight. It cannot simply absorb this request:
     // the member asking for repair may have lost its freshly-installed path
     // in a race with the round's own installs, in which case the round
     // completes with that member holding no liveness links at all — and its
     // crash would go undetected. Remember to run another round when the
     // current one (and its installs) finish.
-    g->rerepair_requested = true;
+    aux.rerepair_requested = true;
     return;
   }
-  if (g->scheduled_repair.pending()) {
+  if (aux.scheduled_repair.pending()) {
     return;  // a repair is queued; it will rebuild from the state at start
   }
   Environment& env = transport_->env();
   const TimePoint now = env.Now();
   // Exponential backoff per group, capped at 40 s; decays after quiet periods
   // (paper 6.5).
-  if (g->last_repair_time != TimePoint() &&
-      now - g->last_repair_time > params_.repair_backoff_reset) {
-    g->repair_backoff = Duration::Zero();
+  if (aux.last_repair_time != TimePoint() &&
+      now - aux.last_repair_time > params_.repair_backoff_reset) {
+    aux.repair_backoff = Duration::Zero();
   }
-  const Duration delay = g->repair_backoff;
-  g->repair_backoff = g->repair_backoff.IsZero()
-                          ? params_.repair_backoff_initial
-                          : std::min(g->repair_backoff * int64_t{2}, params_.repair_backoff_cap);
-  g->scheduled_repair.Bind(env);
-  g->scheduled_repair.Start(delay, [this, id] { RootStartRepair(id); });
+  const Duration delay = aux.repair_backoff;
+  aux.repair_backoff = aux.repair_backoff.IsZero()
+                           ? params_.repair_backoff_initial
+                           : std::min(aux.repair_backoff * int64_t{2}, params_.repair_backoff_cap);
+  aux.scheduled_repair.Bind(env);
+  aux.scheduled_repair.Start(delay, [this, id] { RootStartRepair(id); });
 }
 
 void FuseNode::RootStartRepair(FuseId id) {
   GroupState* g = Find(id);
-  if (g == nullptr || !g->is_root || g->repair != nullptr) {
+  if (g == nullptr || !g->is_root || (g->aux != nullptr && g->aux->repair != nullptr)) {
     return;
   }
   Environment& env = transport_->env();
   stats_.repairs_initiated++;
+  RepairAux& aux = Aux(*g);
   // Complaints that predate this round are satisfied by it; only a
   // NeedRepair racing with the round's installs re-arms the flag.
-  g->rerepair_requested = false;
+  aux.rerepair_requested = false;
   g->seq++;
-  g->last_repair_time = env.Now();
-  g->repair = std::make_unique<RepairPending>();
-  g->install_pending.clear();
+  aux.last_repair_time = env.Now();
+  aux.repair = std::make_unique<RepairPending>();
+  aux.install_pending.clear();
   for (const auto& m : g->members) {
-    g->repair->awaiting_reply.insert(m.name);
-    g->install_pending.insert(m.name);
+    aux.repair->awaiting_reply.insert(m.name);
+    aux.install_pending.insert(m.name);
   }
-  g->install_timer.Cancel();
-  g->repair->timer.Bind(env);
-  g->repair->timer.Start(params_.root_repair_timeout, [this, id] { RootRepairFailed(id); });
+  aux.install_timer.Cancel();
+  aux.repair->timer.Bind(env);
+  aux.repair->timer.Start(params_.root_repair_timeout, [this, id] { RootRepairFailed(id); });
 
   const PayloadBuf repair_payload = EncodeIdSeq(id, g->seq);
   // Snapshot the member hosts: a send to an already-disconnected member
@@ -974,13 +1241,16 @@ void FuseNode::OnRepairRequest(const WireMessage& msg) {
   // Adopt the new tree incarnation: stale SoftNotifications for the old tree
   // are discarded from here on (paper 6.5).
   g->seq = std::max(g->seq, new_seq);
-  g->member_repair_timer.Cancel();
+  if (g->aux != nullptr) {
+    g->aux->member_repair_timer.Cancel();
+    MaybeTrimAux(*g);
+  }
   // The old tree links are obsolete; the new InstallChecking re-creates them.
   const std::vector<HostId> old_links = [&] {
     std::vector<HostId> v;
     v.reserve(g->links.size());
-    for (const auto& [peer, link] : g->links) {
-      v.push_back(peer);
+    for (const LinkEntry& link : g->links) {
+      v.push_back(link.peer);
     }
     return v;
   }();
@@ -1009,24 +1279,25 @@ void FuseNode::OnRepairReply(const WireMessage& msg) {
     return;
   }
   GroupState* g = Find(id);
-  if (g == nullptr || !g->is_root || g->repair == nullptr) {
+  if (g == nullptr || !g->is_root || g->aux == nullptr || g->aux->repair == nullptr) {
     return;
   }
   if (!ok) {
     RootRepairFailed(id);
     return;
   }
-  g->repair->awaiting_reply.erase(member.name);
-  if (!g->repair->awaiting_reply.empty()) {
+  RepairAux& aux = *g->aux;
+  aux.repair->awaiting_reply.erase(member.name);
+  if (!aux.repair->awaiting_reply.empty()) {
     return;
   }
   // Every member answered: the repair round succeeded. Now wait for the new
   // liveness paths to install.
-  g->repair.reset();  // the repair timer auto-cancels
-  if (!g->install_pending.empty()) {
-    g->install_timer.Bind(transport_->env());
-    g->install_timer.Start(params_.install_timeout, [this, id] { RootScheduleRepair(id); });
-  } else if (g->rerepair_requested) {
+  aux.repair.reset();  // the repair timer auto-cancels
+  if (!aux.install_pending.empty()) {
+    aux.install_timer.Bind(transport_->env());
+    aux.install_timer.Start(params_.install_timeout, [this, id] { RootScheduleRepair(id); });
+  } else if (aux.rerepair_requested) {
     // A member complained mid-round; its path may already be broken again.
     RootScheduleRepair(id);
   }

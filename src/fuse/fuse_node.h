@@ -20,6 +20,16 @@
 //  * per-group repair frequency backs off exponentially, capped at 40 s;
 //  * no stable storage: crash recovery is re-registration plus the
 //    reconciliation mechanism tearing down groups the crashed node forgot.
+//
+// Group fast path (FuseParams::incremental_link_digest /
+// coalesce_group_timers, both opt-in): the per-ping liveness cost is O(1) in
+// the number of groups on a link. The piggyback hash becomes a maintained
+// XOR-of-SHA1 set digest updated at link add/remove time, and the per-group
+// link/backstop timers on the healthy path collapse into one last-heard
+// stamp per neighbor plus a single earliest-deadline sweep timer per node.
+// Group state itself lives in a generation-tagged Pool indexed by a
+// Flat128Map, with the rarely-used repair machinery split into an on-demand
+// side allocation, so a million idle groups cost bytes, not timers.
 #ifndef FUSE_FUSE_FUSE_NODE_H_
 #define FUSE_FUSE_FUSE_NODE_H_
 
@@ -29,8 +39,11 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/pool.h"
 #include "common/sha1.h"
 #include "common/status.h"
 #include "fuse/fuse_id.h"
@@ -81,20 +94,20 @@ class FuseNode {
   void SignalFailure(FuseId id);
 
   // --- introspection ---
-  bool HasLiveGroup(FuseId id) const { return groups_.contains(id); }
+  bool HasLiveGroup(FuseId id) const { return group_index_.Find(id.hi, id.lo) != nullptr; }
   // True if this node holds root or member (participant) state for the group;
   // false for delegate-only state or unknown ids.
   bool IsParticipant(FuseId id) const {
-    const auto it = groups_.find(id);
-    return it != groups_.end() && (it->second.is_root || it->second.is_member);
+    const GroupState* g = Find(id);
+    return g != nullptr && (g->is_root || g->is_member);
   }
-  size_t NumLiveGroups() const { return groups_.size(); }
+  size_t NumLiveGroups() const { return group_index_.size(); }
   // Total (group, neighbor) pairs monitored on this node's overlay links —
   // the messages-per-period a non-piggybacked implementation would send.
   size_t NumMonitoredLinks() const {
     size_t n = 0;
-    for (const auto& [peer, ids] : links_by_peer_) {
-      n += ids.size();
+    for (const auto& [peer, pl] : links_by_peer_) {
+      n += pl.ids.size();
     }
     return n;
   }
@@ -105,16 +118,28 @@ class FuseNode {
   // fuzz-repro triage.
   std::string DebugGroupState(FuseId id) const;
 
+  // Estimated heap bytes held by this node's group state (pool slots, link
+  // index, member lists). For the bytes-per-group bench gauges.
+  size_t ApproxGroupBytes() const;
+  // Armed FUSE-layer timers (link, backstop, repair, sweep). The coalesced
+  // fast path keeps this O(neighbors); classic mode is O(groups).
+  size_t CountArmedGroupTimers() const;
+  // Oracle for the incremental digest: recomputes every per-peer digest from
+  // scratch and compares with the maintained value. Always true when
+  // incremental_link_digest is off.
+  bool DebugVerifyLinkDigests() const;
+
   void Shutdown();
 
  private:
-  // All timers below are RAII handles: dropping a LinkState, CreatePending,
+  // All timers below are RAII handles: dropping a LinkEntry, CreatePending,
   // RepairPending, or GroupState disarms everything it owns, so the teardown
   // paths need no explicit cancellation bookkeeping.
-  struct LinkState {
+  struct LinkEntry {
+    HostId peer;
     uint32_t seq = 0;           // tree incarnation this link belongs to
-    Timer timer;                // liveness backstop for this link
     TimePoint installed_at;     // for the reconcile grace period
+    Timer timer;                // classic mode: per-(group, link) liveness backstop
   };
 
   struct CreatePending {
@@ -131,25 +156,15 @@ class FuseNode {
     Timer timer;
   };
 
-  struct GroupState {
-    FuseId id;
-    uint32_t seq = 0;
-    bool is_root = false;
-    bool is_member = false;     // non-root member
-    NodeRef root;               // valid on members
-    std::vector<NodeRef> members;  // valid on the root (excludes the root)
-
-    // Liveness tree links this node monitors for the group.
-    std::unordered_map<HostId, LinkState> links;
-
-    // Members/root: group-level liveness backstop (paper 6.2: "a timer ...
-    // that will signal failure in the event of future communication
-    // failures", reset only by liveness checking).
-    Timer backstop;
-
+  // Repair/install machinery, allocated only while a group needs it. The
+  // overwhelming majority of groups never repair, so keeping these five
+  // timers and three containers out of GroupState is what makes a million
+  // idle groups fit densely in the pool. Once a root has run a repair the
+  // aux stays (repair_backoff/last_repair_time carry the paper's 6.5 backoff
+  // state across rounds); see MaybeTrimAux.
+  struct RepairAux {
     // Member: waiting to hear from the root after initiating repair.
     Timer member_repair_timer;
-
     // Root: repair bookkeeping.
     std::unique_ptr<RepairPending> repair;
     // Root: a NeedRepair arrived while a repair round was already in flight.
@@ -162,8 +177,45 @@ class FuseNode {
     Duration repair_backoff = Duration::Zero();
     TimePoint last_repair_time;
     Timer scheduled_repair;
+  };
+
+  struct GroupState {
+    FuseId id;
+    uint32_t seq = 0;
+    bool is_root = false;
+    bool is_member = false;     // non-root member
+    NodeRef root;               // valid on members
+    std::vector<NodeRef> members;  // valid on the root (excludes the root)
+
+    // Liveness tree links this node monitors for the group, in install
+    // order. A group has a handful of links at most, so a linear scan beats
+    // a per-group hash table and keeps the state one small vector.
+    std::vector<LinkEntry> links;
+
+    // Members/root: group-level liveness backstop (paper 6.2: "a timer ...
+    // that will signal failure in the event of future communication
+    // failures", reset only by liveness checking). In coalesced mode it is
+    // armed only while the group has no links (the per-peer sweep covers it
+    // otherwise).
+    Timer backstop;
+
+    std::unique_ptr<RepairAux> aux;
 
     FailureHandler handler;
+  };
+
+  using GroupRef = Pool<GroupState>::Ref;
+
+  // Per-neighbor liveness index: which groups ride on the link, plus the two
+  // fast-path fields — the maintained XOR-of-SHA1 set digest
+  // (incremental_link_digest) and the last healthy-confirmation stamp
+  // (coalesce_group_timers).
+  struct PeerLinks {
+    // Ordered so the classic SHA-1 piggyback hash and the reconcile link
+    // list are deterministic.
+    std::set<FuseId> ids;
+    Sha1Digest digest{};
+    TimePoint last_refresh;
   };
 
   // --- API plumbing ---
@@ -189,9 +241,13 @@ class FuseNode {
   void AddLink(GroupState& g, HostId peer, uint32_t seq);
   void RemoveLink(GroupState& g, HostId peer);
   void ResetLinkTimers(HostId neighbor);
-  void ArmLinkTimer(FuseId id, HostId peer, LinkState& link);
+  void ArmLinkTimer(FuseId id, HostId peer, LinkEntry& link);
   void ArmBackstop(GroupState& g);
   void HandleLinkDown(FuseId id, HostId peer);
+  // Coalesced mode: one timer armed at the earliest per-peer deadline;
+  // firing rescans the peer table and tears down every stale link.
+  void ArmPeerSweep();
+  void SweepStalePeers();
 
   // --- notifications ---
   void SendSoftToTree(GroupState& g, HostId except, uint32_t seq);
@@ -212,22 +268,45 @@ class FuseNode {
   void ProcessRemoteLinkList(HostId neighbor, Reader& r);
 
   // --- state management ---
+  // Pointers returned by Find/Emplace are invalidated by the next Emplace
+  // (the pool's backing vector may grow) — the same contract as Pool::Get.
+  // Group allocation happens only in create/install entry paths and inside
+  // application failure handlers; never hold a GroupState* across those.
   GroupState* Find(FuseId id);
+  const GroupState* Find(FuseId id) const;
+  GroupState& Emplace(GroupState&& g);
   void DropGroup(FuseId id, bool deliver_to_app);
   void EraseLinkIndex(FuseId id, HostId peer);
   void AddLinkIndex(FuseId id, HostId peer);
+  LinkEntry* FindLink(GroupState& g, HostId peer);
+  const LinkEntry* FindLink(const GroupState& g, HostId peer) const;
+  RepairAux& Aux(GroupState& g);
+  void MaybeTrimAux(GroupState& g);
+  // XOR of SHA-1(hi || lo) into the digest: self-inverse, so the same call
+  // both adds and removes an id from the set fingerprint.
+  static void XorInto(Sha1Digest& digest, FuseId id);
 
   Transport* transport_;
   SkipNetNode* overlay_;
   FuseParams params_;
   bool shutdown_ = false;
 
-  std::unordered_map<FuseId, GroupState> groups_;
+  // Group table: a generation-tagged pool of GroupState slots indexed by the
+  // full 128-bit FUSE ID (folding to 64 bits would let a hash collision
+  // silently alias two live groups).
+  Pool<GroupState> group_pool_;
+  Flat128Map<GroupRef> group_index_;
   std::unordered_map<FuseId, CreatePending> creating_;
-  // neighbor host -> ordered set of groups monitored on that link (ordered so
-  // the SHA-1 piggyback hash is deterministic).
-  std::unordered_map<HostId, std::set<FuseId>> links_by_peer_;
+  std::unordered_map<HostId, PeerLinks> links_by_peer_;
   std::unordered_map<HostId, TimePoint> last_reconcile_;
+
+  // Coalesced mode: the single per-node group-liveness timer.
+  Timer peer_sweep_;
+  // Pooled scratch snapshots for the failure paths (OnOverlayNeighborFailed,
+  // SweepStalePeers): reused across invocations, handed off by swap so a
+  // reentrant activation owns its own snapshot.
+  std::vector<FuseId> fail_scratch_;
+  std::vector<std::pair<HostId, FuseId>> sweep_scratch_;
 
   Stats stats_;
 };

@@ -51,6 +51,24 @@ struct FuseParams {
   // repaired ("has the advantage of implementation simplicity, but can be a
   // significant source of false positives").
   bool attempt_repair = true;
+
+  // Group fast path, part 1 (off by default so classic golden traces stay
+  // byte-identical): maintain an order-independent 160-bit digest per
+  // (link, peer) — the XOR of SHA-1(FuseId) over the link's live IDs,
+  // updated O(1) on link add/remove — instead of re-running SHA-1 over the
+  // whole ID list on every ping sent and received. Both encodings are 20
+  // bytes on the wire, so enabling this changes no message sizes (and hence
+  // no simulated schedules), only the per-ping CPU cost.
+  bool incremental_link_digest = false;
+
+  // Group fast path, part 2 (off by default): replace the per-(group, link)
+  // liveness timers and per-group backstops on the healthy path with one
+  // last-heard stamp per neighbor and a single earliest-deadline sweep timer
+  // per node, the same coalescing move SkipNetConfig::coalesce_pings applies
+  // to ping timers. Armed timers become O(neighbors) instead of O(groups);
+  // detection of a stale link may lag the classic per-link timer by up to
+  // one sweep rescan, which is within the protocol's timeout slack.
+  bool coalesce_group_timers = false;
 };
 
 }  // namespace fuse

@@ -102,6 +102,12 @@ void ClusterHarness::WatchGroupMemberInContext(size_t m, FuseId id,
       id, [this, fire = std::move(on_fire)](FuseId) { deploy_->Defer(fire); });
 }
 
+void ClusterHarness::SignalGroupInContext(size_t node, FuseId id) {
+  if (nodes_[node] != nullptr) {
+    nodes_[node]->fuse()->SignalFailure(id);
+  }
+}
+
 void ClusterHarness::Build() {
   FUSE_CHECK(nodes_.empty() && up_.empty()) << "Build called twice";
   const int n = config_.num_nodes;

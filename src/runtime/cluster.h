@@ -195,6 +195,9 @@ class ClusterHarness {
   // time node `m`'s handler for group `id` fires (so a duplicate notification
   // is observable as a second invocation).
   virtual void WatchGroupMemberInContext(size_t m, FuseId id, std::function<void()> on_fire);
+  // Explicitly signals group failure from node `node` (paper 3.4: application
+  // fail-on-send / voluntary departure). GroupService's Signal rides on this.
+  virtual void SignalGroupInContext(size_t node, FuseId id);
 
  protected:
   // Per-node operations Build/Crash/Restart/churn route through; override all

@@ -1,0 +1,159 @@
+#include "service/group_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fuse {
+
+GroupService::GroupService(ClusterHarness& cluster, GroupServiceOptions options)
+    : cluster_(cluster), options_(options) {
+  FUSE_CHECK(options_.max_inflight_creates > 0);
+  FUSE_CHECK(options_.table_shards > 0 &&
+             (options_.table_shards & (options_.table_shards - 1)) == 0)
+      << "table_shards must be a power of two";
+  shards_.resize(static_cast<size_t>(options_.table_shards));
+  alive_ = std::make_shared<GroupService*>(this);
+}
+
+Flat128Map<GroupService::Record>& GroupService::ShardFor(FuseId id) {
+  return shards_[(id.hi ^ id.lo) & (shards_.size() - 1)];
+}
+
+const Flat128Map<GroupService::Record>& GroupService::ShardFor(FuseId id) const {
+  return shards_[(id.hi ^ id.lo) & (shards_.size() - 1)];
+}
+
+void GroupService::Create(size_t root, std::vector<size_t> members,
+                          std::function<void(const Status&, FuseId)> done) {
+  PendingCreate pc;
+  pc.root = static_cast<uint32_t>(root);
+  pc.members.reserve(members.size());
+  for (size_t m : members) {
+    pc.members.push_back(static_cast<uint32_t>(m));
+  }
+  pc.done = std::move(done);
+  counters_.creates_requested++;
+  queue_.push_back(std::move(pc));
+}
+
+size_t GroupService::Pump() {
+  size_t admitted = 0;
+  while (!queue_.empty() && inflight_ < static_cast<size_t>(options_.max_inflight_creates)) {
+    PendingCreate pc = std::move(queue_.front());
+    queue_.pop_front();
+    Admit(std::move(pc));
+    ++admitted;
+  }
+  return admitted;
+}
+
+void GroupService::Admit(PendingCreate&& pc) {
+  ++inflight_;
+  std::vector<size_t> member_indices(pc.members.begin(), pc.members.end());
+  // The completion is Defer'ed by the harness onto the driving thread; by
+  // then the service may be gone, so it re-resolves itself through the
+  // liveness token.
+  std::weak_ptr<GroupService*> weak = alive_;
+  auto on_done = [weak, root = pc.root, members = std::move(pc.members),
+                  done = std::move(pc.done)](const Status& s, FuseId id) mutable {
+    const std::shared_ptr<GroupService*> self_ptr = weak.lock();
+    if (self_ptr == nullptr) {
+      return;
+    }
+    GroupService& self = **self_ptr;
+    --self.inflight_;
+    if (s.ok()) {
+      self.counters_.creates_ok++;
+      Record& rec = self.ShardFor(id).FindOrInsert(id.hi, id.lo);
+      rec.root = root;
+      rec.members = std::move(members);
+    } else {
+      self.counters_.creates_failed++;
+    }
+    if (done) {
+      done(s, id);
+    }
+  };
+  cluster_.Run([&] {
+    cluster_.CreateGroupInContext(pc.root, cluster_.RefsOf(member_indices), std::move(on_done));
+  });
+}
+
+bool GroupService::Drain(Duration bound) {
+  // Refill the admission window whenever it is half empty; a per-create
+  // Await round-trip would serialize the pipeline.
+  while (NumPendingCreates() > 0) {
+    Pump();
+    const size_t low_water = static_cast<size_t>(options_.max_inflight_creates) / 2;
+    const bool progressed = cluster_.Await(
+        [this, low_water] {
+          return inflight_ == 0 || (inflight_ <= low_water && !queue_.empty());
+        },
+        bound);
+    if (!progressed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void GroupService::Watch(size_t member, FuseId id, std::function<void(FuseId)> on_fire) {
+  std::weak_ptr<GroupService*> weak = alive_;
+  auto fire = [weak, id, on_fire = std::move(on_fire)] {
+    const std::shared_ptr<GroupService*> self_ptr = weak.lock();
+    if (self_ptr == nullptr) {
+      return;
+    }
+    GroupService& self = **self_ptr;
+    // One-shot per (watch, fire): the FUSE layer already guarantees at most
+    // one notification per registration; dropping the record here makes the
+    // group disappear from the service's live view at first failure report.
+    self.counters_.notifications++;
+    self.ShardFor(id).Erase(id.hi, id.lo);
+    if (on_fire) {
+      on_fire(id);
+    }
+  };
+  cluster_.Run([&] { cluster_.WatchGroupMemberInContext(member, id, std::move(fire)); });
+}
+
+void GroupService::Signal(size_t node, FuseId id) {
+  counters_.signals++;
+  cluster_.Run([&] { cluster_.SignalGroupInContext(node, id); });
+}
+
+const GroupService::Record* GroupService::FindLive(FuseId id) const {
+  return ShardFor(id).Find(id.hi, id.lo);
+}
+
+size_t GroupService::NumLive() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard.size();
+  }
+  return n;
+}
+
+void GroupService::ForEachLive(const std::function<void(FuseId, const Record&)>& fn) const {
+  for (const auto& shard : shards_) {
+    shard.ForEach([&fn](uint64_t hi, uint64_t lo, const Record& rec) {
+      fn(FuseId{hi, lo}, rec);
+    });
+  }
+}
+
+size_t GroupService::ApproxServiceBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    // Open-addressed slots at <= 3/4 load: key pair + state byte + value.
+    total += shard.size() * (2 * sizeof(uint64_t) + 1 + sizeof(Record)) * 4 / 3;
+    shard.ForEach([&total](uint64_t, uint64_t, const Record& rec) {
+      total += rec.members.capacity() * sizeof(uint32_t);
+    });
+  }
+  total += queue_.size() * sizeof(PendingCreate);
+  return total;
+}
+
+}  // namespace fuse

@@ -1,0 +1,282 @@
+// Group fast-path tests (FuseParams::incremental_link_digest /
+// coalesce_group_timers) and the GroupService facade.
+//
+// The digest mode's contract is exact equivalence: the maintained
+// XOR-of-SHA1 digest is 20 bytes like the classic recomputed hash, so the
+// same schedule must produce byte-identical fuzz log lines. The coalesced
+// mode's contract is behavioral: detection may lag the classic per-link
+// timers by up to one sweep rescan, so verdicts must stay green but timing
+// may shift — which is why the two flags gate independently.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz/fault_schedule.h"
+#include "fuzz/fuzz_runner.h"
+#include "runtime/sim_cluster.h"
+#include "service/group_service.h"
+
+namespace fuse {
+namespace {
+
+ClusterConfig FastPathConfig(int n, uint64_t seed, bool digest, bool coalesce) {
+  ClusterConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = seed;
+  cfg.topology.num_as = 60;
+  cfg.cost = CostModel::Simulator();
+  cfg.fuse.incremental_link_digest = digest;
+  cfg.fuse.coalesce_group_timers = coalesce;
+  return cfg;
+}
+
+FuseId CreateGroupSync(SimCluster& cluster, size_t root, const std::vector<size_t>& members,
+                       Status* status_out) {
+  FuseId id;
+  bool done = false;
+  Status status;
+  cluster.node(root).fuse()->CreateGroup(cluster.RefsOf(members),
+                                         [&](const Status& s, FuseId gid) {
+                                           status = s;
+                                           id = gid;
+                                           done = true;
+                                         });
+  cluster.sim().RunUntilCondition([&] { return done; },
+                                  cluster.sim().Now() + Duration::Minutes(3));
+  EXPECT_TRUE(done) << "CreateGroup callback never fired";
+  if (status_out != nullptr) {
+    *status_out = status;
+  }
+  return id;
+}
+
+void ExpectDigestsVerify(SimCluster& cluster) {
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.IsUp(i)) {
+      EXPECT_TRUE(cluster.node(i).fuse()->DebugVerifyLinkDigests()) << "node " << i;
+    }
+  }
+}
+
+// Oracle test for the incremental digest: after arbitrary interleavings of
+// group creation, explicit signals, crashes, and repair traffic, every
+// node's maintained per-peer digest must equal a from-scratch recompute of
+// XOR(SHA-1(id)) over its live link set.
+TEST(IncrementalDigestTest, MatchesRecomputeUnderRandomChurn) {
+  SimCluster cluster(FastPathConfig(12, 501, /*digest=*/true, /*coalesce=*/false));
+  cluster.Build();
+  Rng rng(0xd1685u);
+  std::vector<FuseId> live;
+  for (int round = 0; round < 30; ++round) {
+    const int op = static_cast<int>(rng.UniformInt(0, 3));
+    if (op <= 1 || live.empty()) {
+      const size_t size = static_cast<size_t>(rng.UniformInt(2, 4));
+      const auto members = cluster.PickLiveNodes(size);
+      Status status;
+      const FuseId id = CreateGroupSync(cluster, members[0], members, &status);
+      if (status.ok()) {
+        live.push_back(id);
+      }
+    } else {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(0, live.size() - 1));
+      const FuseId id = live[pick];
+      live.erase(live.begin() + static_cast<long>(pick));
+      const auto signalers = cluster.PickLiveNodes(1);
+      cluster.node(signalers[0]).fuse()->SignalFailure(id);
+    }
+    cluster.sim().RunFor(Duration::Seconds(5));
+    ExpectDigestsVerify(cluster);
+  }
+  // A crash exercises the teardown + repair paths' digest maintenance.
+  cluster.Crash(3);
+  cluster.sim().RunFor(Duration::Minutes(5));
+  ExpectDigestsVerify(cluster);
+}
+
+// The digest changes which bytes ride the pings but not how many, so the
+// whole fuzz-oracle run — verdict, QoS counters, detection latencies, all
+// folded into the deterministic log line — must match classic byte-for-byte.
+TEST(IncrementalDigestTest, FuzzLogLinesMatchClassicByteForByte) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const FaultSchedule s = GenerateSchedule(seed);
+    FuzzRunOptions classic;
+    FuzzRunOptions digest;
+    digest.incremental_link_digest = true;
+    const FuzzRunResult rc = RunSchedule(s, classic);
+    const FuzzRunResult rd = RunSchedule(s, digest);
+    EXPECT_EQ(rc.log_line, rd.log_line) << "seed " << seed;
+    EXPECT_EQ(rc.violations, rd.violations) << "seed " << seed;
+  }
+}
+
+// Coalesced mode keeps the oracle green: timing may shift by a sweep rescan,
+// which is within the oracle's detection windows.
+TEST(CoalescedTimersTest, FuzzVerdictsStayGreen) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const FaultSchedule s = GenerateSchedule(seed);
+    FuzzRunOptions opts;
+    opts.incremental_link_digest = true;
+    opts.coalesce_group_timers = true;
+    const FuzzRunResult r = RunSchedule(s, opts);
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ": " << r.log_line;
+  }
+}
+
+// The coalescing claim itself: armed FUSE timers stay O(nodes) no matter how
+// many groups exist, and a real crash is still detected by every surviving
+// member exactly once.
+TEST(CoalescedTimersTest, ArmedTimersStayFlatAndCrashIsDetected) {
+  SimCluster cluster(FastPathConfig(16, 502, /*digest=*/true, /*coalesce=*/true));
+  cluster.Build();
+
+  struct Group {
+    FuseId id;
+    std::vector<size_t> members;
+  };
+  std::vector<Group> groups;
+  for (int g = 0; g < 60; ++g) {
+    const auto members = cluster.PickLiveNodes(3);
+    Status status;
+    const FuseId id = CreateGroupSync(cluster, members[0], members, &status);
+    ASSERT_TRUE(status.ok());
+    groups.push_back({id, members});
+  }
+  cluster.sim().RunFor(Duration::Minutes(2));
+
+  size_t armed = 0;
+  size_t live_groups = 0;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    armed += cluster.node(i).fuse()->CountArmedGroupTimers();
+    live_groups += cluster.node(i).fuse()->NumLiveGroups();
+  }
+  // 60 groups x 3 members (plus delegates) hold hundreds of group records;
+  // classic mode arms 2+ timers per (group, link). Coalesced: at most the
+  // one sweep timer per node plus transient repair state.
+  EXPECT_GE(live_groups, 180u);
+  EXPECT_LE(armed, 2 * cluster.size()) << "timers not coalesced";
+
+  // A member can sit in several affected groups, so firings are counted per
+  // (group, member) pair: exactly one notification for each.
+  const size_t victim = groups[0].members[1];
+  std::map<std::pair<size_t, size_t>, int> fired;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& g = groups[gi];
+    bool affected = false;
+    for (size_t m : g.members) {
+      affected = affected || m == victim;
+    }
+    if (!affected) {
+      continue;
+    }
+    for (size_t m : g.members) {
+      if (m == victim) {
+        continue;
+      }
+      cluster.node(m).fuse()->RegisterFailureHandler(
+          g.id, [&fired, gi, m](FuseId) { fired[{gi, m}]++; });
+    }
+  }
+  ASSERT_FALSE(fired.empty() && groups.empty());
+  cluster.Crash(victim);
+  cluster.sim().RunFor(Duration::Minutes(8));
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& g = groups[gi];
+    bool affected = false;
+    for (size_t m : g.members) {
+      affected = affected || m == victim;
+    }
+    for (size_t m : g.members) {
+      if (!affected || m == victim) {
+        continue;
+      }
+      EXPECT_EQ((fired[{gi, m}]), 1) << "group " << gi << " member " << m;
+    }
+  }
+}
+
+// After every group is gone the sweep disarms itself: a node with no
+// monitored links holds zero armed FUSE timers.
+TEST(CoalescedTimersTest, SweepDisarmsWhenIdle) {
+  SimCluster cluster(FastPathConfig(10, 503, /*digest=*/true, /*coalesce=*/true));
+  cluster.Build();
+  std::vector<FuseId> ids;
+  std::vector<std::vector<size_t>> member_sets;
+  for (int g = 0; g < 10; ++g) {
+    const auto members = cluster.PickLiveNodes(2);
+    Status status;
+    const FuseId id = CreateGroupSync(cluster, members[0], members, &status);
+    ASSERT_TRUE(status.ok());
+    ids.push_back(id);
+    member_sets.push_back(members);
+  }
+  cluster.sim().RunFor(Duration::Minutes(1));
+  for (size_t g = 0; g < ids.size(); ++g) {
+    cluster.node(member_sets[g][0]).fuse()->SignalFailure(ids[g]);
+  }
+  // Long enough for every teardown to propagate and the armed sweeps to fire
+  // once into empty peer tables.
+  cluster.sim().RunFor(Duration::Minutes(5));
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.node(i).fuse()->NumLiveGroups(), 0u) << "node " << i;
+    EXPECT_EQ(cluster.node(i).fuse()->CountArmedGroupTimers(), 0u) << "node " << i;
+  }
+}
+
+TEST(GroupServiceTest, CreateDrainWatchSignalRoundTrip) {
+  SimCluster cluster(FastPathConfig(8, 504, /*digest=*/true, /*coalesce=*/true));
+  cluster.Build();
+  GroupServiceOptions opts;
+  opts.max_inflight_creates = 64;
+  GroupService svc(cluster, opts);
+
+  for (int g = 0; g < 200; ++g) {
+    svc.Create(static_cast<size_t>(g % 8),
+               {static_cast<size_t>(g % 8), static_cast<size_t>((g + 1 + g / 8) % 8)});
+  }
+  ASSERT_TRUE(svc.Drain(Duration::Minutes(10)));
+  EXPECT_EQ(svc.counters().creates_ok, 200u);
+  EXPECT_EQ(svc.counters().creates_failed, 0u);
+  EXPECT_EQ(svc.NumLive(), 200u);
+
+  // Signal a quarter of them from their roots; each watched member hears
+  // exactly once and the record disappears from the live view.
+  std::vector<FuseId> doomed;
+  svc.ForEachLive([&](FuseId id, const GroupService::Record&) {
+    if (doomed.size() < 50) {
+      doomed.push_back(id);
+    }
+  });
+  int fires = 0;
+  for (const FuseId& id : doomed) {
+    const GroupService::Record* rec = svc.FindLive(id);
+    ASSERT_NE(rec, nullptr);
+    svc.Watch(rec->members[1], id, [&fires](FuseId) { ++fires; });
+    svc.Signal(rec->root, id);
+  }
+  cluster.Await([&] { return fires >= 50; }, Duration::Minutes(5));
+  EXPECT_EQ(fires, 50);
+  EXPECT_EQ(svc.counters().notifications, 50u);
+  EXPECT_EQ(svc.NumLive(), 150u);
+  for (const FuseId& id : doomed) {
+    EXPECT_EQ(svc.FindLive(id), nullptr);
+  }
+}
+
+TEST(GroupServiceTest, CreateAgainstCrashedMemberCountsAsFailed) {
+  SimCluster cluster(FastPathConfig(8, 505, /*digest=*/true, /*coalesce=*/true));
+  cluster.Build();
+  cluster.Crash(5);
+  GroupService svc(cluster);
+  svc.Create(0, {0, 5});
+  svc.Create(1, {1, 2});
+  ASSERT_TRUE(svc.Drain(Duration::Minutes(10)));
+  EXPECT_EQ(svc.counters().creates_ok, 1u);
+  EXPECT_EQ(svc.counters().creates_failed, 1u);
+  EXPECT_EQ(svc.NumLive(), 1u);
+}
+
+}  // namespace
+}  // namespace fuse
