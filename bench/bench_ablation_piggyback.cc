@@ -6,6 +6,8 @@
 // monitored (group, link) pairs actually present and compare the measured
 // overhead (20 hash bytes per ping) with the message load a non-piggybacked
 // implementation would add.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -67,5 +69,64 @@ int main() {
   std::printf("\nshape checks (paper expectations):\n");
   std::printf("  separate per-link FUSE pings would add load proportional to group count;\n");
   std::printf("  piggybacking costs only 20 bytes per existing overlay ping (section 7.5)\n");
+
+  // Second ablation: batched piggybacking. Suppose FUSE did send per-group
+  // liveness messages instead of riding the overlay ping — how much of the
+  // piggyback's amortization does the datagram fabric's per-destination
+  // coalescing win back? Model: g groups share a monitored link with ping
+  // period P; each group emits one 20-byte liveness record per period at an
+  // independent phase. With coalescing horizon h, records to the same
+  // destination within h ride one datagram, so a period's g records occupy
+  // at most ceil(P/h) flush slots: datagrams/period = min(g, ceil(P/h)).
+  // True piggybacking stays the floor — 0 extra messages, 20 bytes on an
+  // overlay ping that is already paid for.
+  {
+    const double period_s = cluster.config().overlay.ping_period.ToSecondsF();
+    constexpr double kHashBytes = 20.0;    // FUSE liveness record payload
+    constexpr double kRecordHdr = 12.0;    // per-record framing in a datagram
+    constexpr double kDatagramHdr = 28.0;  // IP + UDP per datagram on the wire
+    // Horizons as fractions of the ping period: the fabric's default
+    // sub-millisecond horizon (vs P = 60 s) coalesces nothing across groups,
+    // so the sweep covers the region where batching starts to matter —
+    // trading up to a full period of notification staleness for it.
+    const std::vector<double> horizons_s = {0.0, period_s / 100.0, period_s / 10.0,
+                                            period_s};
+
+    std::printf("\nbatched piggybacking (coalescing horizon x groups/link, per link, period %.0f s):\n",
+                period_s);
+    std::printf("%14s", "horizon");
+    for (const int g : {1, 4, 16, 64}) {
+      std::printf(" %10s=%-3d", "g", g);
+    }
+    std::printf("   (datagrams/period | bytes/period)\n");
+    for (const double h_s : horizons_s) {
+      if (h_s == 0.0) {
+        std::printf("%14s", "none");
+      } else {
+        std::printf("%12.1f s", h_s);
+      }
+      for (const int g : {1, 4, 16, 64}) {
+        const double slots =
+            h_s == 0.0 ? static_cast<double>(g)
+                       : std::min(static_cast<double>(g), std::ceil(period_s / h_s));
+        const double bytes =
+            slots * kDatagramHdr + static_cast<double>(g) * (kHashBytes + kRecordHdr);
+        std::printf(" %6.0f|%-7.0f", slots, bytes);
+      }
+      std::printf("\n");
+    }
+    std::printf("%14s", "piggyback");
+    for (const int g : {1, 4, 16, 64}) {
+      // One 20-byte hash on each of the period's two overlay ping legs; the
+      // datagram itself is already paid for by the overlay.
+      (void)g;
+      std::printf(" %6.0f|%-7.0f", 0.0, 2.0 * kHashBytes);
+    }
+    std::printf("\n");
+    std::printf("  coalescing recovers the message amortization once h approaches P (slots -> 1)\n");
+    std::printf("  but still pays %d+%d bytes per group-record; the piggyback's constant 20 B/ping\n",
+                static_cast<int>(kHashBytes), static_cast<int>(kRecordHdr));
+    std::printf("  is independent of groups/link — the paper's design holds even against batching\n");
+  }
   return 0;
 }

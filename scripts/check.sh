@@ -19,6 +19,17 @@ if [[ "$(uname -s)" != "Linux" ]] || ! [[ -d /proc/sys/fs/epoll ]]; then
   extra+=(-LE process-parity)
 fi
 
+# The UDP parity legs assume the datagram fabric's batched-syscall fast path
+# is meaningful; on kernels without sendmmsg/recvmmsg (the probe below) the
+# fabric still works via the sendto fallback, but the benchmark's syscall
+# claims don't hold — skip the Udp-named parity legs and the ratio-gated
+# bench there, mirroring the epoll guard above.
+if [[ -x build/bench/bench_net_transport ]] \
+    && ! build/bench/bench_net_transport --probe-sendmmsg >/dev/null; then
+  echo "check.sh: no sendmmsg support here; skipping UDP parity legs" >&2
+  extra+=(-E "Udp|bench_net_transport")
+fi
+
 ctest --test-dir build --output-on-failure -j"$(nproc)" "${extra[@]}" "$@"
 
 # Always-on fuzz smoke: a short deterministic fault-schedule sweep through

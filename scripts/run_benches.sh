@@ -34,7 +34,7 @@ if [[ ${emit_json} -eq 1 ]]; then
   # baseline artifact.
   rm -f bench-results/*.bench.json
 fi
-json_capable=" bench_fig09_crash_notification bench_fig10_churn_load bench_scale_10k bench_scale_100k "
+json_capable=" bench_fig09_crash_notification bench_fig10_churn_load bench_net_transport bench_scale_10k bench_scale_100k "
 shopt -s nullglob
 for bin in build/bench/bench_*; do
   [[ -x ${bin} ]] || continue

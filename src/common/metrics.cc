@@ -46,7 +46,31 @@ const char* GaugeName(Gauge g) {
       return "bytes_per_group";
     case Gauge::kArmedTimersPerGroup:
       return "armed_timers_per_group";
+    case Gauge::kSyscallsPerMsg:
+      return "syscalls_per_msg";
+    case Gauge::kBatchOccupancy:
+      return "batch_occupancy";
     case Gauge::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kTransportSendSyscalls:
+      return "transport_send_syscalls";
+    case Counter::kTransportRecvSyscalls:
+      return "transport_recv_syscalls";
+    case Counter::kTransportDatagramsSent:
+      return "transport_datagrams_sent";
+    case Counter::kTransportRecordsSent:
+      return "transport_records_sent";
+    case Counter::kRetransmitsTotal:
+      return "retransmits_total";
+    case Counter::kAcksDedupedTotal:
+      return "acks_deduped_total";
+    case Counter::kCount:
       break;
   }
   return "unknown";
@@ -71,6 +95,7 @@ uint64_t Metrics::TotalBytes() const {
 void Metrics::Reset() {
   counters_.fill(Entry{});
   gauges_.fill(0.0);
+  event_counters_.fill(0);
 }
 
 std::string Metrics::Report() const {
@@ -97,6 +122,14 @@ std::string Metrics::Report() const {
     }
     std::snprintf(buf, sizeof(buf), "  %-24s %14.2f\n", GaugeName(static_cast<Gauge>(i)),
                   gauges_[i]);
+    out += buf;
+  }
+  for (size_t i = 0; i < event_counters_.size(); ++i) {
+    if (event_counters_[i] == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-24s %14llu\n", CounterName(static_cast<Counter>(i)),
+                  static_cast<unsigned long long>(event_counters_[i]));
     out += buf;
   }
   return out;

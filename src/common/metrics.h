@@ -41,10 +41,29 @@ const char* MsgCategoryName(MsgCategory c);
 enum class Gauge : int {
   kBytesPerGroup = 0,       // approx heap bytes of group state / live groups
   kArmedTimersPerGroup,     // armed FUSE-layer timers / live groups
+  kSyscallsPerMsg,          // transport I/O syscalls / application messages
+  kBatchOccupancy,          // messages coalesced per datagram (UDP fabric)
   kCount,
 };
 
 const char* GaugeName(Gauge g);
+
+// Transport-level event counters, orthogonal to the per-category message
+// accounting above. The real fabrics (TCP sockets, UDP datagrams) count
+// their syscalls and reliability events here so bench_net_transport and the
+// parity tests can report syscalls/msg, batch occupancy, and retransmit
+// pressure without ptrace-style instrumentation.
+enum class Counter : int {
+  kTransportSendSyscalls = 0,  // send/sendto/sendmmsg invocations
+  kTransportRecvSyscalls,      // recv/recvfrom/recvmmsg invocations
+  kTransportDatagramsSent,     // UDP datagrams put on the wire
+  kTransportRecordsSent,       // data records inside those datagrams
+  kRetransmitsTotal,           // data records re-sent after an RTO
+  kAcksDedupedTotal,           // duplicate deliveries suppressed (re-acked)
+  kCount,
+};
+
+const char* CounterName(Counter c);
 
 class Metrics {
  public:
@@ -67,6 +86,9 @@ class Metrics {
   void SetGauge(Gauge g, double value) { gauges_[static_cast<size_t>(g)] = value; }
   double GetGauge(Gauge g) const { return gauges_[static_cast<size_t>(g)]; }
 
+  void IncCounter(Counter c, uint64_t n = 1) { event_counters_[static_cast<size_t>(c)] += n; }
+  uint64_t GetCounter(Counter c) const { return event_counters_[static_cast<size_t>(c)]; }
+
   void Reset();
 
   // Accumulates another instance's counters into this one. The sharded
@@ -75,6 +97,9 @@ class Metrics {
     for (size_t i = 0; i < counters_.size(); ++i) {
       counters_[i].messages += other.counters_[i].messages;
       counters_[i].bytes += other.counters_[i].bytes;
+    }
+    for (size_t i = 0; i < event_counters_.size(); ++i) {
+      event_counters_[i] += other.event_counters_[i];
     }
   }
 
@@ -97,6 +122,7 @@ class Metrics {
   };
   std::array<Entry, static_cast<size_t>(MsgCategory::kCount)> counters_{};
   std::array<double, static_cast<size_t>(Gauge::kCount)> gauges_{};
+  std::array<uint64_t, static_cast<size_t>(Counter::kCount)> event_counters_{};
 };
 
 }  // namespace fuse

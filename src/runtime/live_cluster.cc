@@ -1,9 +1,15 @@
 #include "runtime/live_cluster.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "runtime/loop_deployment.h"
+
+#if defined(__linux__)
+#include "transport/datagram_transport.h"
+#include "transport/socket_transport.h"
+#endif
 
 namespace fuse {
 
@@ -26,11 +32,49 @@ LiveRuntime::Config RuntimeConfigFrom(const LiveClusterConfig& c) {
 class LiveDeployment : public LoopDeployment {
  public:
   explicit LiveDeployment(const LiveClusterConfig& config)
-      : LoopDeployment(RuntimeConfigFrom(config)) {}
+      : LoopDeployment(RuntimeConfigFrom(config)),
+        transport_(config.transport),
+        seed_(config.seed) {
+#if !defined(__linux__)
+    FUSE_CHECK(transport_ == TransportKind::kInProcess)
+        << "real transports need the Linux epoll loop";
+#endif
+  }
 
   Transport* CreateHost(size_t index) override {
     (void)index;  // sequential ids; no placement policy in-process
-    return runtime_->CreateHost();
+    LiveTransport* inproc = runtime_->CreateHost();
+    if (transport_ == TransportKind::kInProcess) {
+      return inproc;
+    }
+#if defined(__linux__)
+    // Real-transport mode: every host gets its own fabric (socket set +
+    // fault-rule replica) on the shared loop, so inter-host traffic crosses
+    // actual loopback sockets instead of the in-memory queue — the
+    // single-process analogue of one fabric per worker process.
+    const HostId h = inproc->local_host();
+    Transport* t = nullptr;
+    runtime_->RunOnLoop([&] {
+      std::unique_ptr<Fabric> fab;
+      if (transport_ == TransportKind::kUdp) {
+        DatagramFabric::Options o;
+        o.seed = seed_ ^ (0x9e3779b97f4a7c15ULL * (fabrics_.size() + 1));
+        fab = std::make_unique<DatagramFabric>(runtime_.get(), o);
+      } else {
+        fab = std::make_unique<SocketFabric>(runtime_.get());
+      }
+      const uint16_t port = fab->Listen();
+      for (auto& e : fabrics_) {
+        e.fabric->SetPeerAddr(h, port);
+        fab->SetPeerAddr(e.host, e.port);
+      }
+      t = fab->TransportFor(h);
+      fabrics_.push_back(Entry{std::move(fab), h, port});
+    });
+    return t;
+#else
+    return inproc;
+#endif
   }
 
   void CrashHost(HostId h) override {
@@ -39,9 +83,59 @@ class LiveDeployment : public LoopDeployment {
     // re-registers, as in the paper's stable-storage-free recovery).
     runtime_->SetHostDown(h, true);
     runtime_->UnregisterAllHandlers(h);
+#if defined(__linux__)
+    if (!fabrics_.empty()) {
+      runtime_->RunOnLoop([&] {
+        for (auto& e : fabrics_) {
+          e.fabric->faults().SetHostDown(h, true);
+          if (e.host == h) {
+            e.fabric->UnregisterAllHandlers(h);
+          }
+        }
+      });
+    }
+#endif
   }
 
-  void RestartHost(HostId h) override { runtime_->SetHostDown(h, false); }
+  void RestartHost(HostId h) override {
+    runtime_->SetHostDown(h, false);
+#if defined(__linux__)
+    if (!fabrics_.empty()) {
+      runtime_->RunOnLoop([&] {
+        for (auto& e : fabrics_) {
+          e.fabric->faults().SetHostDown(h, false);
+        }
+      });
+    }
+#endif
+  }
+
+  void ApplyFaults(const std::function<void(FaultInjector&)>& fn) override {
+    LoopDeployment::ApplyFaults(fn);
+#if defined(__linux__)
+    // Replicate into every fabric's rule mirror, the same way the process
+    // deployment broadcasts rules into its workers.
+    if (!fabrics_.empty()) {
+      runtime_->RunOnLoop([&] {
+        for (auto& e : fabrics_) {
+          fn(e.fabric->faults());
+        }
+      });
+    }
+#endif
+  }
+
+ private:
+  TransportKind transport_;
+  uint64_t seed_;
+#if defined(__linux__)
+  struct Entry {
+    std::unique_ptr<Fabric> fabric;
+    HostId host;
+    uint16_t port = 0;
+  };
+  std::vector<Entry> fabrics_;  // loop-thread state (mutate via RunOnLoop)
+#endif
 };
 
 LiveClusterConfig LiveClusterConfig::FastProtocol(int num_nodes, uint64_t seed) {

@@ -12,6 +12,7 @@
 
 #include "runtime/cluster.h"
 #include "runtime/live_runtime.h"
+#include "transport/fabric.h"
 
 namespace fuse {
 
@@ -25,6 +26,11 @@ struct LiveClusterConfig {
   FuseParams fuse;
   int join_batch = 4;
   HarnessTiming timing;
+  // Messaging layer between hosts. kInProcess keeps LiveRuntime's in-memory
+  // delivery; kTcp/kUdp give every host its own real fabric on the shared
+  // loop, so inter-host traffic crosses actual loopback sockets
+  // (Linux-only; non-Linux builds FUSE_CHECK on a real transport).
+  TransportKind transport = TransportKind::kInProcess;
 
   // Preset with protocol constants scaled from simulated minutes to live
   // milliseconds, so wall-clock scenario runs finish in seconds while

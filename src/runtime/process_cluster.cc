@@ -18,9 +18,11 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/serialize.h"
 #include "runtime/live_cluster.h"
 #include "runtime/loop_deployment.h"
+#include "transport/datagram_transport.h"
 
 namespace fuse {
 
@@ -29,7 +31,7 @@ namespace {
 // --- control protocol ------------------------------------------------------
 // Frames on the controller<->worker socketpair (FramedSocket length
 // prefixes). Controller -> worker commands:
-constexpr uint8_t kCmdAddrs = 1;         // u32 n, (u64 host, u16 port)*
+constexpr uint8_t kCmdAddrs = 1;         // u8 transport, u32 n, (u64 host, u16 port)*
 constexpr uint8_t kCmdFaults = 2;        // FaultInjector::EncodeTo
 constexpr uint8_t kCmdCreateNode = 3;    // u64 host, str name, u64 numeric
 constexpr uint8_t kCmdJoinFirst = 4;     // u64 host
@@ -38,11 +40,13 @@ constexpr uint8_t kCmdStartMaint = 6;    // u64 host
 constexpr uint8_t kCmdLeafExchange = 7;  // u64 host
 constexpr uint8_t kCmdCreateGroup = 8;   // u64 root, u64 seq, u16 n, (str name, u64 host)*
 constexpr uint8_t kCmdWatch = 9;         // u64 host, u64 id_hi, u64 id_lo
+constexpr uint8_t kCmdStats = 10;        // u64 gen
 // Worker -> controller events:
-constexpr uint8_t kEvHello = 32;              // u32 widx, u32 incarnation, u16 port
+constexpr uint8_t kEvHello = 32;              // u32 widx, u32 incarnation, u16 port, u8 transport
 constexpr uint8_t kEvJoinResult = 33;         // u64 seq, u8 ok, str msg
 constexpr uint8_t kEvCreateGroupResult = 34;  // u64 seq, u8 ok, str msg, u64 hi, u64 lo
 constexpr uint8_t kEvNotify = 35;             // u64 host, u64 id_hi, u64 id_lo
+constexpr uint8_t kEvStats = 36;              // u64 gen, u32 n, (str name, u64 value)*
 
 // Spawner channel (SEQPACKET socketpair): requests are a bare u32 worker
 // index; responses are {u32 widx, u32 pid, u32 incarnation} with the worker's
@@ -61,17 +65,31 @@ void SendFrameTo(FramedSocket& sock, const Writer& w) {
 
 // Everything one worker process owns. Lives on the worker's main-thread
 // stack; all mutation happens on the worker's loop thread.
+// Builds the per-run messaging layer. The worker seed is already
+// (seed, worker, incarnation)-derived, so it doubles as the datagram
+// fabric's session/loss-draw seed: a restarted incarnation gets a fresh
+// dedupe stream for free.
+std::unique_ptr<Fabric> MakeFabric(const ProcessClusterConfig& cfg, LiveRuntime* rt,
+                                   uint64_t seed) {
+  if (cfg.transport == TransportKind::kUdp) {
+    DatagramFabric::Options o;
+    o.seed = seed;
+    return std::make_unique<DatagramFabric>(rt, o);
+  }
+  return std::make_unique<SocketFabric>(rt, cfg.socket);
+}
+
 struct Worker {
   Worker(const ProcessClusterConfig& config, uint32_t widx_in, uint32_t incarnation_in,
          LiveRuntime::Config rc)
-      : cfg(config), widx(widx_in), incarnation(incarnation_in), rt(rc), fabric(&rt, cfg.socket),
-        ctrl(&rt) {}
+      : cfg(config), widx(widx_in), incarnation(incarnation_in), rt(rc),
+        fabric(MakeFabric(config, &rt, rc.seed)), ctrl(&rt) {}
 
   const ProcessClusterConfig& cfg;
   uint32_t widx;
   uint32_t incarnation;
   LiveRuntime rt;
-  SocketFabric fabric;
+  std::unique_ptr<Fabric> fabric;
   FramedSocket ctrl;
   std::unordered_map<uint64_t, std::unique_ptr<Node>> nodes;
 
@@ -89,18 +107,24 @@ void Worker::HandleCommand(const uint8_t* data, size_t len) {
   const uint8_t op = r.GetU8();
   switch (op) {
     case kCmdAddrs: {
+      // An address is only meaningful for the fabric it was bound by; a
+      // transport mismatch means controller/worker config skew.
+      const auto tk = static_cast<TransportKind>(r.GetU8());
+      FUSE_CHECK(tk == cfg.transport)
+          << "worker " << widx << ": transport mismatch (controller "
+          << TransportKindName(tk) << ", worker " << TransportKindName(cfg.transport) << ")";
       const uint32_t n = r.GetU32();
       for (uint32_t i = 0; i < n && r.ok(); ++i) {
         const uint64_t host = r.GetU64();
         const uint16_t port = r.GetU16();
-        fabric.SetPeerAddr(HostId(host), port);
+        fabric->SetPeerAddr(HostId(host), port);
       }
       break;
     }
     case kCmdFaults: {
       // A truncated rule set must fail loudly here, not as a mystifying
       // agreement violation later (DecodeFrom clears before decoding).
-      FUSE_CHECK(fabric.faults().DecodeFrom(r))
+      FUSE_CHECK(fabric->faults().DecodeFrom(r))
           << "worker " << widx << ": malformed fault rules";
       break;
     }
@@ -109,7 +133,7 @@ void Worker::HandleCommand(const uint8_t* data, size_t len) {
       std::string name = r.GetString();
       const uint64_t numeric = r.GetU64();
       FUSE_CHECK(!nodes.contains(host)) << "worker " << widx << ": duplicate node " << host;
-      nodes[host] = std::make_unique<Node>(fabric.TransportFor(HostId(host)), std::move(name),
+      nodes[host] = std::make_unique<Node>(fabric->TransportFor(HostId(host)), std::move(name),
                                            NumericId(numeric), cfg.overlay, cfg.fuse);
       break;
     }
@@ -192,6 +216,22 @@ void Worker::HandleCommand(const uint8_t* data, size_t len) {
       });
       break;
     }
+    case kCmdStats: {
+      // Snapshot of this worker's transport event counters (syscalls,
+      // datagrams, retransmits, dedupes); the controller sums across workers.
+      const uint64_t gen = r.GetU64();
+      Writer w;
+      w.PutU8(kEvStats);
+      w.PutU64(gen);
+      w.PutU32(static_cast<uint32_t>(Counter::kCount));
+      for (uint32_t i = 0; i < static_cast<uint32_t>(Counter::kCount); ++i) {
+        const auto c = static_cast<Counter>(i);
+        w.PutString(CounterName(c));
+        w.PutU64(rt.metrics().GetCounter(c));
+      }
+      SendFrameTo(ctrl, w);
+      break;
+    }
     default:
       FUSE_CHECK(false) << "worker " << widx << ": unknown command " << int{op};
   }
@@ -209,7 +249,7 @@ void Worker::HandleCommand(const uint8_t* data, size_t len) {
   rc.seed ^= (uint64_t{incarnation} + 1) * 0xbf58476d1ce4e5b9ULL;
   Worker w(cfg, widx, incarnation, rc);
   const bool ok = w.rt.RunOnLoop([&] {
-    const uint16_t port = w.fabric.Listen();
+    const uint16_t port = w.fabric->Listen();
     w.ctrl.set_on_frame([&w](const uint8_t* d, size_t l) { w.HandleCommand(d, l); });
     // Controller gone (teardown or controller crash): this process has no
     // purpose and no state worth saving — exit like the crash-only software
@@ -221,6 +261,7 @@ void Worker::HandleCommand(const uint8_t* data, size_t len) {
     hello.PutU32(w.widx);
     hello.PutU32(w.incarnation);
     hello.PutU16(port);
+    hello.PutU8(static_cast<uint8_t>(w.cfg.transport));
     SendFrameTo(w.ctrl, hello);
   });
   FUSE_CHECK(ok) << "worker loop died during setup";
@@ -492,6 +533,34 @@ class ProcessDeployment : public LoopDeployment {
     return workers_[widx].st == WorkerState::St::kReady;
   }
 
+  // Sums the transport event counters (send/recv syscalls, datagrams,
+  // retransmits, dedupe suppressions) across every live worker — the
+  // process-backend view of the metrics the datagram fabric maintains.
+  // Generation-tagged so a laggard reply from an earlier collection can
+  // never pollute this one. Best-effort: workers that die mid-collection
+  // just leave the bound to expire with whatever arrived.
+  std::map<std::string, uint64_t> CollectTransportCounters(Duration bound) {
+    runtime_->RunOnLoop([&] {
+      ++stats_gen_;
+      stats_sum_.clear();
+      stats_expected_ = 0;
+      stats_received_ = 0;
+      Writer w;
+      w.PutU8(kCmdStats);
+      w.PutU64(stats_gen_);
+      for (uint32_t i = 0; i < workers_.size(); ++i) {
+        if (workers_[i].st == WorkerState::St::kReady) {
+          SendTo(i, w);
+          ++stats_expected_;
+        }
+      }
+    });
+    AwaitCondition([this] { return stats_received_ >= stats_expected_; }, bound);
+    std::map<std::string, uint64_t> out;
+    runtime_->RunOnLoop([&] { out = stats_sum_; });
+    return out;
+  }
+
  private:
   struct Revive {
     HostId host;
@@ -608,6 +677,10 @@ class ProcessDeployment : public LoopDeployment {
         r.GetU32();  // widx (redundant: the channel identifies the worker)
         r.GetU32();  // incarnation
         w.port = r.GetU16();
+        const auto tk = static_cast<TransportKind>(r.GetU8());
+        FUSE_CHECK(r.ok() && tk == cfg_.transport)
+            << "worker " << widx << " came up on transport " << TransportKindName(tk)
+            << ", controller expects " << TransportKindName(cfg_.transport);
         if (w.kill_on_ready) {
           // A crash was requested while this incarnation was still forking.
           // This frame came in on w.ctrl itself, and FramedSocket forbids
@@ -684,6 +757,19 @@ class ProcessDeployment : public LoopDeployment {
         for (const auto& fire : it->second) {
           fire();
         }
+        return;
+      }
+      case kEvStats: {
+        if (r.GetU64() != stats_gen_) {
+          return;  // stale reply from a previous collection
+        }
+        const uint32_t n = r.GetU32();
+        for (uint32_t i = 0; i < n && r.ok(); ++i) {
+          std::string name = r.GetString();
+          const uint64_t value = r.GetU64();
+          stats_sum_[std::move(name)] += value;
+        }
+        ++stats_received_;
         return;
       }
       default:
@@ -767,6 +853,7 @@ class ProcessDeployment : public LoopDeployment {
   void BroadcastAddrs() {
     Writer w;
     w.PutU8(kCmdAddrs);
+    w.PutU8(static_cast<uint8_t>(cfg_.transport));
     uint32_t n = 0;
     for (const WorkerState& ws : workers_) {
       if (ws.port != 0) {
@@ -812,6 +899,11 @@ class ProcessDeployment : public LoopDeployment {
   pid_t spawner_pid_ = -1;
   std::vector<WorkerState> workers_;
   uint64_t next_seq_ = 1;
+  // Transport-counter collection state (loop thread only).
+  uint64_t stats_gen_ = 0;
+  uint32_t stats_expected_ = 0;
+  uint32_t stats_received_ = 0;
+  std::map<std::string, uint64_t> stats_sum_;
   std::unordered_map<uint64_t, PendingJoin> pending_joins_;
   std::unordered_map<uint64_t, PendingCreate> pending_creates_;
   std::map<std::tuple<uint64_t, uint64_t, uint64_t>, std::vector<std::function<void()>>>
@@ -924,6 +1016,10 @@ void ProcessCluster::CreateGroupInContext(size_t root, std::vector<NodeRef> memb
 void ProcessCluster::WatchGroupMemberInContext(size_t m, FuseId id,
                                                std::function<void()> on_fire) {
   pd_->SendWatch(hosts_[m], id, std::move(on_fire));
+}
+
+std::map<std::string, uint64_t> ProcessCluster::TransportCounters() {
+  return pd_->CollectTransportCounters(Duration::Seconds(5));
 }
 
 }  // namespace fuse

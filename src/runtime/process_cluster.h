@@ -34,6 +34,8 @@
 
 #if defined(__linux__)
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,6 +56,11 @@ struct ProcessClusterConfig {
   int join_batch = 4;
   HarnessTiming timing;
   SocketFabric::Options socket;
+  // Inter-worker messaging layer: kTcp (socket fabric, the default) or kUdp
+  // (datagram fabric: coalesced datagrams, app-level retransmit, loss is
+  // silence). The choice is tagged onto the control protocol (Hello and
+  // address broadcasts) so controller/worker skew fails loudly.
+  TransportKind transport = TransportKind::kTcp;
 
   // Scaled protocol constants (the LiveCluster FastProtocol settings) with
   // wait bounds widened for process forks and real TCP handshakes.
@@ -73,6 +80,11 @@ class ProcessCluster : public ClusterHarness {
   void CreateGroupInContext(size_t root, std::vector<NodeRef> members,
                             std::function<void(const Status&, FuseId)> cb) override;
   void WatchGroupMemberInContext(size_t m, FuseId id, std::function<void()> on_fire) override;
+
+  // Transport event counters (syscalls, datagrams, retransmits, dedupe
+  // suppressions) summed across all live workers, keyed by CounterName.
+  // Best-effort: a worker that dies mid-collection contributes nothing.
+  std::map<std::string, uint64_t> TransportCounters();
 
  protected:
   void CreateNodeInContext(size_t i) override;

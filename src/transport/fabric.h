@@ -1,0 +1,69 @@
+// Fabric: the deployment-facing surface shared by the real (inter-process
+// capable) messaging layers — the TCP socket fabric and the UDP datagram
+// fabric. A fabric owns the OS sockets for one process, hosts one or more
+// local Transport endpoints, keeps a host -> port address map, and mirrors
+// the FaultInjector rule set so fault schedules apply to real traffic.
+//
+// Deployments select a fabric per run (ClusterConfig-level `transport`):
+//   * kInProcess — LiveRuntime's in-memory delivery (no fabric; live
+//     backend's default);
+//   * kTcp      — SocketFabric: length-prefixed frames over nonblocking
+//     loopback TCP, per-message receiver acks, broken-connection errors;
+//   * kUdp      — DatagramFabric: coalesced datagrams over nonblocking UDP,
+//     app-level ack/retransmit with congestion restraint, loss is silence.
+#ifndef FUSE_TRANSPORT_FABRIC_H_
+#define FUSE_TRANSPORT_FABRIC_H_
+
+#include <cstdint>
+
+#include "net/fault_injector.h"
+#include "transport/transport.h"
+
+namespace fuse {
+
+enum class TransportKind : uint8_t {
+  kInProcess = 0,
+  kTcp = 1,
+  kUdp = 2,
+};
+
+inline const char* TransportKindName(TransportKind k) {
+  switch (k) {
+    case TransportKind::kInProcess:
+      return "inproc";
+    case TransportKind::kTcp:
+      return "tcp";
+    case TransportKind::kUdp:
+      return "udp";
+  }
+  return "unknown";
+}
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  // Binds the fabric's socket(s) on loopback and starts receiving. Returns
+  // the port peers should be told about (advertised out of band by the
+  // deployment's address map).
+  virtual uint16_t Listen() = 0;
+
+  // Address map maintenance: host -> loopback port. Re-advertising a host (a
+  // restarted incarnation on a fresh port) retargets future traffic.
+  virtual void SetPeerAddr(HostId h, uint16_t port) = 0;
+
+  // Creates (or returns) the transport endpoint for a host local to this
+  // process.
+  virtual Transport* TransportFor(HostId local) = 0;
+
+  // Drops every handler registered for a local host (a crash empties the
+  // dispatch table like a process that vanished).
+  virtual void UnregisterAllHandlers(HostId h) = 0;
+
+  // The fabric's fault-rule mirror, evaluated on every send and delivery.
+  virtual FaultInjector& faults() = 0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_TRANSPORT_FABRIC_H_

@@ -77,6 +77,7 @@ void FramedSocket::SendFrame(const uint8_t* data, size_t len) {
 
 void FramedSocket::TryFlush() {
   while (out_head_ < out_.size()) {
+    rt_->metrics().IncCounter(Counter::kTransportSendSyscalls);
     const ssize_t n = ::send(fd_, out_.data() + out_head_, out_.size() - out_head_,
                              MSG_NOSIGNAL);
     if (n > 0) {
@@ -132,6 +133,7 @@ void FramedSocket::OnEvents(uint32_t events) {
     uint8_t buf[65536];
     bool closed = false;
     for (;;) {
+      rt_->metrics().IncCounter(Counter::kTransportRecvSyscalls);
       const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
       if (n > 0) {
         in_.insert(in_.end(), buf, buf + n);

@@ -36,6 +36,7 @@
 #include "net/fault_injector.h"
 #include "runtime/live_runtime.h"
 #include "sim/timer.h"
+#include "transport/fabric.h"
 #include "transport/transport.h"
 
 namespace fuse {
@@ -113,7 +114,7 @@ class SocketTransport : public Transport {
   HostId host_;
 };
 
-class SocketFabric {
+class SocketFabric : public Fabric {
  public:
   struct Options {
     // Nonblocking connect retry budget: a freshly killed peer refuses
@@ -129,28 +130,28 @@ class SocketFabric {
 
   explicit SocketFabric(LiveRuntime* rt);  // default options
   SocketFabric(LiveRuntime* rt, Options opts);
-  ~SocketFabric();
+  ~SocketFabric() override;
 
   SocketFabric(const SocketFabric&) = delete;
   SocketFabric& operator=(const SocketFabric&) = delete;
 
   // Binds a loopback listener on an ephemeral port and starts accepting.
   // Returns the port (advertised to peers out of band by the deployment).
-  uint16_t Listen();
+  uint16_t Listen() override;
 
   // Address map maintenance: host -> loopback TCP port. Re-advertising a
   // host (a restarted incarnation on a fresh port) retargets future dials;
   // an in-progress connection to the stale port runs out its retry budget.
-  void SetPeerAddr(HostId h, uint16_t port);
+  void SetPeerAddr(HostId h, uint16_t port) override;
 
   // Creates (or returns) the transport endpoint for a host local to this
   // process.
-  SocketTransport* TransportFor(HostId local);
+  SocketTransport* TransportFor(HostId local) override;
   bool IsLocal(HostId h) const { return locals_.contains(h.value); }
 
   // The fabric's fault-rule mirror, evaluated sender-side on every send and
   // receiver-side on every delivery.
-  FaultInjector& faults() { return faults_; }
+  FaultInjector& faults() override { return faults_; }
 
   Environment& env() { return *rt_; }
 

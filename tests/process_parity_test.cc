@@ -8,6 +8,10 @@
 // label on sandboxes without epoll/fork support.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <tuple>
+
 #include "runtime/process_cluster.h"
 #include "runtime/scenario.h"
 
@@ -28,15 +32,23 @@ ScenarioOptions ProcessOptions(uint64_t seed) {
   return opts;
 }
 
-class ProcessParityScenario : public ::testing::TestWithParam<ScenarioKind> {};
+// Parameterized over (scenario, transport): the same schedules run over
+// loopback TCP frames and over the coalescing UDP datagram fabric, where a
+// SIGKILLed worker is observed as silence + retransmit exhaustion rather
+// than a broken connection. CI selects the UDP leg by test name (-R Udp).
+class ProcessParityScenario
+    : public ::testing::TestWithParam<std::tuple<ScenarioKind, TransportKind>> {};
 
 TEST_P(ProcessParityScenario, AgreementHoldsAcrossOsProcesses) {
-  const ScenarioKind kind = GetParam();
+  const ScenarioKind kind = std::get<0>(GetParam());
+  const TransportKind transport = std::get<1>(GetParam());
   // ChurnDuringCreate draws groups from the stable lower index half (and
   // SIGKILL/refork-cycles the upper half), so it needs headroom over
   // max_group_size.
   const int num_nodes = kind == ScenarioKind::kChurnDuringCreate ? 12 : 8;
-  ProcessCluster cluster(ProcessClusterConfig::FastProtocol(num_nodes, /*seed=*/42));
+  ProcessClusterConfig cfg = ProcessClusterConfig::FastProtocol(num_nodes, /*seed=*/42);
+  cfg.transport = transport;
+  ProcessCluster cluster(cfg);
   cluster.Build();
   const ScenarioResult result = RunAgreementScenario(cluster, kind, ProcessOptions(42));
   EXPECT_TRUE(result.ok()) << ScenarioKindName(kind) << " process: " << result.ToString();
@@ -46,15 +58,43 @@ TEST_P(ProcessParityScenario, AgreementHoldsAcrossOsProcesses) {
   if (!result.target_skipped) {
     EXPECT_GE(result.notified, 1) << "scenario did not exercise the notification path";
   }
+
+  // Transport accounting, summed across the surviving workers. Beyond the
+  // report (visible with --gtest_also_run_disabled_tests-style verbosity via
+  // ctest -V), assert the counters are live: every run moves real traffic.
+  const std::map<std::string, uint64_t> counters = cluster.TransportCounters();
+  std::string report;
+  for (const auto& [name, value] : counters) {
+    report += "  " + name + " = " + std::to_string(value) + "\n";
+  }
+  SCOPED_TRACE("transport counters:\n" + report);
+  ASSERT_TRUE(counters.contains("transport_send_syscalls"));
+  EXPECT_GT(counters.at("transport_send_syscalls"), 0u);
+  EXPECT_GT(counters.at("transport_recv_syscalls"), 0u);
+  if (transport == TransportKind::kUdp) {
+    // The datagram fabric must actually be the one moving traffic. (No
+    // records >= datagrams invariant: ack-only datagrams count toward
+    // datagrams_sent but carry no data records.)
+    EXPECT_GT(counters.at("transport_datagrams_sent"), 0u);
+    EXPECT_GT(counters.at("transport_records_sent"), 0u);
+  } else {
+    EXPECT_EQ(counters.at("transport_datagrams_sent"), 0u);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Kinds, ProcessParityScenario,
-                         ::testing::Values(ScenarioKind::kCrashMember,
-                                           ScenarioKind::kPartitionHeal,
-                                           ScenarioKind::kChurnDuringCreate),
-                         [](const ::testing::TestParamInfo<ScenarioKind>& param_info) {
-                           return std::string(ScenarioKindName(param_info.param));
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ProcessParityScenario,
+    ::testing::Combine(::testing::Values(ScenarioKind::kCrashMember,
+                                         ScenarioKind::kPartitionHeal,
+                                         ScenarioKind::kChurnDuringCreate),
+                       ::testing::Values(TransportKind::kTcp, TransportKind::kUdp)),
+    [](const ::testing::TestParamInfo<std::tuple<ScenarioKind, TransportKind>>& pinfo) {
+      std::string name = ScenarioKindName(std::get<0>(pinfo.param));
+      if (std::get<1>(pinfo.param) == TransportKind::kUdp) {
+        name += "Udp";
+      }
+      return name;
+    });
 
 // Crash/restart round trip at the deployment level: SIGKILL one worker, fork
 // a fresh incarnation, and verify it rejoins the overlay (new port, new
