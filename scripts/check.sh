@@ -10,13 +10,14 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 
-# The process-parity suite forks worker processes and drives loopback TCP
-# through epoll; skip it gracefully on sandboxes that lack that support
-# (non-Linux hosts, or containers where loopback bind is walled off).
+# The process-backed suites (process-parity, the multi-tenant procN sweep,
+# and the 1000-node procscale gate) fork worker processes and drive loopback
+# TCP through epoll; skip them gracefully on sandboxes that lack that
+# support (non-Linux hosts, or containers where loopback bind is walled off).
 extra=()
 if [[ "$(uname -s)" != "Linux" ]] || ! [[ -d /proc/sys/fs/epoll ]]; then
-  echo "check.sh: no epoll support here; skipping the process-parity label" >&2
-  extra+=(-LE process-parity)
+  echo "check.sh: no epoll support here; skipping the process-backed labels" >&2
+  extra+=(-LE "process-parity|procN|procscale")
 fi
 
 # The UDP parity legs assume the datagram fabric's batched-syscall fast path

@@ -12,6 +12,15 @@ ClusterHarness::ClusterHarness(std::unique_ptr<Deployment> deployment, HarnessCo
   // The harness starts maintenance explicitly once the whole overlay exists;
   // this keeps construction cheap and matches a coordinated deployment.
   config_.overlay.start_maintenance_on_join = false;
+  // Backends that don't co-locate leave the placement default-constructed;
+  // normalize it to one node per machine so MachineOf/CrashMachine always
+  // have a consistent map to consult.
+  if (config_.placement.num_nodes != config_.num_nodes) {
+    FUSE_CHECK(config_.placement.num_nodes == 0)
+        << "placement covers " << config_.placement.num_nodes << " nodes, cluster has "
+        << config_.num_nodes;
+    config_.placement = Placement::Pack(config_.num_nodes, 1);
+  }
 }
 
 ClusterHarness::~ClusterHarness() {
@@ -194,6 +203,41 @@ void ClusterHarness::CrashInContext(size_t i) {
   up_[i] = false;
   deploy_->CrashHost(hosts_[i]);
   RetireNodeInContext(i);
+}
+
+void ClusterHarness::CrashMachine(size_t machine) {
+  deploy_->Run([this, machine] {
+    std::vector<size_t> victims;
+    for (const size_t i : config_.placement.NodesOn(static_cast<int>(machine))) {
+      if (up_[i]) {
+        victims.push_back(i);
+      }
+    }
+    FUSE_CHECK(!victims.empty()) << "no live nodes on machine " << machine;
+    // Mark every co-hosted node down BEFORE the backend acts: the machine
+    // dies as one event, and no observer (churn timers, IsUp probes) may see
+    // a half-crashed machine.
+    std::vector<HostId> hosts;
+    hosts.reserve(victims.size());
+    for (const size_t i : victims) {
+      up_[i] = false;
+      hosts.push_back(hosts_[i]);
+    }
+    deploy_->CrashMachine(hosts);
+    for (const size_t i : victims) {
+      RetireNodeInContext(i);
+    }
+  });
+}
+
+void ClusterHarness::RestartMachine(size_t machine) {
+  for (const size_t i : config_.placement.NodesOn(static_cast<int>(machine))) {
+    bool dead = false;
+    deploy_->Run([&] { dead = !up_[i]; });
+    if (dead) {
+      Restart(i);
+    }
+  }
 }
 
 void ClusterHarness::RestartAsync(size_t i) {

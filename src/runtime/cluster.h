@@ -24,6 +24,7 @@
 
 #include "net/fault_injector.h"
 #include "runtime/node.h"
+#include "runtime/placement.h"
 #include "sim/environment.h"
 #include "sim/timer.h"
 
@@ -60,6 +61,17 @@ class Deployment {
   // fault rules mark the host down. Restart brings a fresh incarnation up.
   virtual void CrashHost(HostId h) = 0;
   virtual void RestartHost(HostId h) = 0;
+
+  // Crashes every host co-located on one machine as a single failure event.
+  // The default decomposes into per-host crashes (correct for in-process
+  // backends, where a "machine" is bookkeeping); a backend whose machines are
+  // real units of failure (one worker OS process hosting N nodes) overrides
+  // this with one genuine kill.
+  virtual void CrashMachine(const std::vector<HostId>& hosts) {
+    for (const HostId h : hosts) {
+      CrashHost(h);
+    }
+  }
 
   // Runs `fn` against the backend's fault rules under the backend's locking
   // discipline (none in the sim; the loop lock in the live runtime). In-process
@@ -110,6 +122,10 @@ struct HarnessConfig {
   // Nodes joined concurrently during Build (smaller = slower but gentler).
   int join_batch = 16;
   HarnessTiming timing;
+  // Which machine each node lives on. Backends fill this from their own
+  // co-location knobs; left default it is normalized to one node per machine
+  // in the harness constructor.
+  Placement placement;
 };
 
 class ClusterHarness {
@@ -159,6 +175,16 @@ class ClusterHarness {
   // Variant that only initiates the rejoin (for use inside the protocol
   // context, e.g. from a churn timer).
   void RestartAsync(size_t i);
+
+  // --- machine-level failure (paper section 2: the machine is the real unit
+  // --- of failure; co-hosted nodes die together) ---
+  const Placement& placement() const { return config_.placement; }
+  int MachineOf(size_t i) const { return config_.placement.MachineOf(i); }
+  // Crashes every live node on `machine` as one failure event (a single
+  // SIGKILL on the process backend). At least one node there must be up.
+  void CrashMachine(size_t machine);
+  // Restarts (blocking, one by one) every crashed node on `machine`.
+  void RestartMachine(size_t machine);
 
   // --- churn driver (paper section 7.5) ---
   // Starts kill/restart cycles for nodes [first, first+count): exponential

@@ -1,10 +1,12 @@
 #include "runtime/live_cluster.h"
 
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "runtime/loop_deployment.h"
+#include "runtime/placement.h"
 
 #if defined(__linux__)
 #include "transport/datagram_transport.h"
@@ -34,7 +36,9 @@ class LiveDeployment : public LoopDeployment {
   explicit LiveDeployment(const LiveClusterConfig& config)
       : LoopDeployment(RuntimeConfigFrom(config)),
         transport_(config.transport),
-        seed_(config.seed) {
+        seed_(config.seed),
+        placement_(Placement::Pack(config.num_nodes,
+                                   config.nodes_per_machine < 1 ? 1 : config.nodes_per_machine)) {
 #if !defined(__linux__)
     FUSE_CHECK(transport_ == TransportKind::kInProcess)
         << "real transports need the Linux epoll loop";
@@ -42,34 +46,45 @@ class LiveDeployment : public LoopDeployment {
   }
 
   Transport* CreateHost(size_t index) override {
-    (void)index;  // sequential ids; no placement policy in-process
     LiveTransport* inproc = runtime_->CreateHost();
     if (transport_ == TransportKind::kInProcess) {
       return inproc;
     }
 #if defined(__linux__)
-    // Real-transport mode: every host gets its own fabric (socket set +
-    // fault-rule replica) on the shared loop, so inter-host traffic crosses
-    // actual loopback sockets instead of the in-memory queue — the
-    // single-process analogue of one fabric per worker process.
+    // Real-transport mode: every *machine* gets one fabric (socket set +
+    // fault-rule replica) shared by its co-located hosts on the shared loop,
+    // so inter-machine traffic crosses actual loopback sockets instead of the
+    // in-memory queue — the single-process analogue of a multi-tenant worker
+    // process. Hosts are created in index order, so a machine's fabric comes
+    // up with its first host.
     const HostId h = inproc->local_host();
+    const size_t m = static_cast<size_t>(placement_.MachineOf(index));
     Transport* t = nullptr;
     runtime_->RunOnLoop([&] {
-      std::unique_ptr<Fabric> fab;
-      if (transport_ == TransportKind::kUdp) {
-        DatagramFabric::Options o;
-        o.seed = seed_ ^ (0x9e3779b97f4a7c15ULL * (fabrics_.size() + 1));
-        fab = std::make_unique<DatagramFabric>(runtime_.get(), o);
-      } else {
-        fab = std::make_unique<SocketFabric>(runtime_.get());
+      if (m == fabrics_.size()) {
+        std::unique_ptr<Fabric> fab;
+        if (transport_ == TransportKind::kUdp) {
+          DatagramFabric::Options o;
+          o.seed = seed_ ^ (0x9e3779b97f4a7c15ULL * (fabrics_.size() + 1));
+          fab = std::make_unique<DatagramFabric>(runtime_.get(), o);
+        } else {
+          fab = std::make_unique<SocketFabric>(runtime_.get());
+        }
+        const uint16_t port = fab->Listen();
+        fab->ApplyAddressMap(addrs_);  // addresses of every earlier host
+        fabrics_.push_back(Entry{std::move(fab), port});
       }
-      const uint16_t port = fab->Listen();
-      for (auto& e : fabrics_) {
-        e.fabric->SetPeerAddr(h, port);
-        fab->SetPeerAddr(e.host, e.port);
+      FUSE_CHECK(m < fabrics_.size()) << "hosts created out of placement order";
+      Entry& e = fabrics_[m];
+      // Advertise the new host at its machine's port, to everyone (including
+      // its own fabric: co-hosted traffic still resolves, then short-circuits
+      // through the local dispatch table).
+      addrs_.Set(h, PeerEndpoint::Loopback(e.port));
+      for (auto& other : fabrics_) {
+        other.fabric->SetPeerAddr(h, e.port);
       }
-      t = fab->TransportFor(h);
-      fabrics_.push_back(Entry{std::move(fab), h, port});
+      host_machine_[h.value] = m;
+      t = e.fabric->TransportFor(h);
     });
     return t;
 #else
@@ -88,10 +103,8 @@ class LiveDeployment : public LoopDeployment {
       runtime_->RunOnLoop([&] {
         for (auto& e : fabrics_) {
           e.fabric->faults().SetHostDown(h, true);
-          if (e.host == h) {
-            e.fabric->UnregisterAllHandlers(h);
-          }
         }
+        FabricOf(h)->UnregisterAllHandlers(h);
       });
     }
 #endif
@@ -128,13 +141,20 @@ class LiveDeployment : public LoopDeployment {
  private:
   TransportKind transport_;
   uint64_t seed_;
+  Placement placement_;
 #if defined(__linux__)
   struct Entry {
     std::unique_ptr<Fabric> fabric;
-    HostId host;
     uint16_t port = 0;
   };
-  std::vector<Entry> fabrics_;  // loop-thread state (mutate via RunOnLoop)
+  Fabric* FabricOf(HostId h) {
+    const auto it = host_machine_.find(h.value);
+    FUSE_CHECK(it != host_machine_.end()) << "no fabric hosts " << h.value;
+    return fabrics_[it->second].fabric.get();
+  }
+  std::vector<Entry> fabrics_;  // one per machine; loop-thread state
+  std::unordered_map<uint64_t, size_t> host_machine_;
+  PeerAddressMap addrs_;  // authoritative host -> endpoint map
 #endif
 };
 
@@ -174,6 +194,7 @@ HarnessConfig HarnessConfigFrom(const LiveClusterConfig& c) {
   hc.fuse = c.fuse;
   hc.join_batch = c.join_batch;
   hc.timing = c.timing;
+  hc.placement = Placement::Pack(c.num_nodes, c.nodes_per_machine < 1 ? 1 : c.nodes_per_machine);
   return hc;
 }
 

@@ -27,10 +27,14 @@ struct LiveClusterConfig {
   int join_batch = 4;
   HarnessTiming timing;
   // Messaging layer between hosts. kInProcess keeps LiveRuntime's in-memory
-  // delivery; kTcp/kUdp give every host its own real fabric on the shared
-  // loop, so inter-host traffic crosses actual loopback sockets
+  // delivery; kTcp/kUdp give every *machine* its own real fabric on the
+  // shared loop, so inter-machine traffic crosses actual loopback sockets
   // (Linux-only; non-Linux builds FUSE_CHECK on a real transport).
   TransportKind transport = TransportKind::kInProcess;
+  // Co-locates this many nodes per machine: one fault domain for
+  // CrashMachine, and (on a real transport) one shared fabric + port — the
+  // in-process analogue of a multi-tenant worker process.
+  int nodes_per_machine = 1;
 
   // Preset with protocol constants scaled from simulated minutes to live
   // milliseconds, so wall-clock scenario runs finish in seconds while

@@ -20,33 +20,18 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/serialize.h"
+#include "runtime/control_protocol.h"
 #include "runtime/live_cluster.h"
 #include "runtime/loop_deployment.h"
 #include "transport/datagram_transport.h"
 
 namespace fuse {
 
-namespace {
+// The framed command/event vocabulary both loops below speak lives in
+// runtime/control_protocol.h (one header, no hand-mirrored opcode tables).
+using namespace ctrl;
 
-// --- control protocol ------------------------------------------------------
-// Frames on the controller<->worker socketpair (FramedSocket length
-// prefixes). Controller -> worker commands:
-constexpr uint8_t kCmdAddrs = 1;         // u8 transport, u32 n, (u64 host, u16 port)*
-constexpr uint8_t kCmdFaults = 2;        // FaultInjector::EncodeTo
-constexpr uint8_t kCmdCreateNode = 3;    // u64 host, str name, u64 numeric
-constexpr uint8_t kCmdJoinFirst = 4;     // u64 host
-constexpr uint8_t kCmdJoin = 5;          // u64 host, u64 boot, u64 seq, u8 start_maint
-constexpr uint8_t kCmdStartMaint = 6;    // u64 host
-constexpr uint8_t kCmdLeafExchange = 7;  // u64 host
-constexpr uint8_t kCmdCreateGroup = 8;   // u64 root, u64 seq, u16 n, (str name, u64 host)*
-constexpr uint8_t kCmdWatch = 9;         // u64 host, u64 id_hi, u64 id_lo
-constexpr uint8_t kCmdStats = 10;        // u64 gen
-// Worker -> controller events:
-constexpr uint8_t kEvHello = 32;              // u32 widx, u32 incarnation, u16 port, u8 transport
-constexpr uint8_t kEvJoinResult = 33;         // u64 seq, u8 ok, str msg
-constexpr uint8_t kEvCreateGroupResult = 34;  // u64 seq, u8 ok, str msg, u64 hi, u64 lo
-constexpr uint8_t kEvNotify = 35;             // u64 host, u64 id_hi, u64 id_lo
-constexpr uint8_t kEvStats = 36;              // u64 gen, u32 n, (str name, u64 value)*
+namespace {
 
 // Spawner channel (SEQPACKET socketpair): requests are a bare u32 worker
 // index; responses are {u32 widx, u32 pid, u32 incarnation} with the worker's
@@ -92,6 +77,10 @@ struct Worker {
   std::unique_ptr<Fabric> fabric;
   FramedSocket ctrl;
   std::unordered_map<uint64_t, std::unique_ptr<Node>> nodes;
+  // In-place-killed co-tenants, parked (quiesced, unregistered, host-down)
+  // so in-flight loop callbacks referencing them stay safe — the worker-side
+  // twin of ClusterHarness::graveyard_.
+  std::vector<std::unique_ptr<Node>> graveyard;
 
   Node* NodeFor(uint64_t host) {
     const auto it = nodes.find(host);
@@ -107,18 +96,15 @@ void Worker::HandleCommand(const uint8_t* data, size_t len) {
   const uint8_t op = r.GetU8();
   switch (op) {
     case kCmdAddrs: {
+      AddrsFrame f;
+      FUSE_CHECK(DecodeAddrs(r, &f)) << "worker " << widx << ": malformed address map";
       // An address is only meaningful for the fabric it was bound by; a
       // transport mismatch means controller/worker config skew.
-      const auto tk = static_cast<TransportKind>(r.GetU8());
-      FUSE_CHECK(tk == cfg.transport)
+      FUSE_CHECK(f.transport == cfg.transport)
           << "worker " << widx << ": transport mismatch (controller "
-          << TransportKindName(tk) << ", worker " << TransportKindName(cfg.transport) << ")";
-      const uint32_t n = r.GetU32();
-      for (uint32_t i = 0; i < n && r.ok(); ++i) {
-        const uint64_t host = r.GetU64();
-        const uint16_t port = r.GetU16();
-        fabric->SetPeerAddr(HostId(host), port);
-      }
+          << TransportKindName(f.transport) << ", worker " << TransportKindName(cfg.transport)
+          << ")";
+      fabric->ApplyAddressMap(f.addrs);
       break;
     }
     case kCmdFaults: {
@@ -166,6 +152,22 @@ void Worker::HandleCommand(const uint8_t* data, size_t len) {
       } else {
         n->overlay()->Join(HostId(boot), std::move(reply));
       }
+      break;
+    }
+    case kCmdKillNode: {
+      // In-place fail-stop of one co-hosted node: the process must survive
+      // for its co-tenants, so the node is quiesced the way the in-process
+      // backends crash one — shut down, handlers unregistered, fault rules
+      // marking the host down (the controller broadcasts the same rule to
+      // every peer worker) — and parked rather than destroyed.
+      const uint64_t host = r.GetU64();
+      const auto it = nodes.find(host);
+      FUSE_CHECK(it != nodes.end()) << "worker " << widx << ": kill of unknown node " << host;
+      it->second->ShutdownAll();
+      fabric->UnregisterAllHandlers(HostId(host));
+      fabric->faults().SetHostDown(HostId(host), true);
+      graveyard.push_back(std::move(it->second));
+      nodes.erase(it);
       break;
     }
     case kCmdStartMaint: {
@@ -300,7 +302,7 @@ void SendSpawnResponse(int fd, SpawnResponse resp, int pass_fd) {
   tv.tv_usec = 200 * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   std::vector<pid_t> kids;
-  std::vector<uint32_t> incarnations(static_cast<size_t>(cfg.num_nodes), 0);
+  std::vector<uint32_t> incarnations(static_cast<size_t>(cfg.MakePlacement().NumMachines()), 0);
   for (;;) {
     // Reap exited workers AND forget their pids: a reaped pid number may be
     // reused by the kernel, and the teardown SIGKILL sweep below must never
@@ -388,43 +390,83 @@ class ProcessDeployment : public LoopDeployment {
 
   // --- Deployment ---
   Transport* CreateHost(size_t index) override {
-    FUSE_CHECK(index < workers_.size()) << "host index out of range";
+    const size_t widx = static_cast<size_t>(placement_.MachineOf(index));
+    FUSE_CHECK(widx < workers_.size()) << "host index out of range";
     const bool ready = AwaitCondition(
-        [this, index] { return workers_[index].st == WorkerState::St::kReady; },
+        [this, widx] { return workers_[widx].st == WorkerState::St::kReady; },
         Duration::Seconds(60));
-    FUSE_CHECK(ready) << "worker " << index << " failed to spawn";
+    FUSE_CHECK(ready) << "worker " << widx << " failed to spawn";
     return nullptr;  // hosts live in worker processes; no in-process transport
   }
 
   void CrashHost(HostId h) override {
-    WorkerState& w = worker_of(h);
-    switch (w.st) {
-      case WorkerState::St::kReady:
-        KillWorker(w);
-        w.st = WorkerState::St::kDead;
-        break;
-      case WorkerState::St::kSpawning:
-        // The fork is in flight; kill the process the moment it reports in.
-        w.kill_on_ready = true;
-        w.revive.reset();
-        break;
-      case WorkerState::St::kDead:
-        FUSE_CHECK(false) << "crash of already-dead worker " << widx_of(h);
+    const uint32_t widx = widx_of(h);
+    if (!placement_.MultiTenant()) {
+      // One node per worker: the node dies with its machine — a genuine
+      // SIGKILL; peers observe broken connections and refused dials.
+      KillMachineWorker(widx);
+      return;
     }
-    FailPendingFor(widx_of(h));
+    // Multi-tenant: co-tenants must survive, so a single-node crash is an
+    // in-place kill. The worker quiesces the node (FIFO: this frame lands
+    // before the rule broadcast below); the controller mirrors host-down and
+    // replicates it so every peer fabric refuses the host's traffic — no
+    // false acks from a listener that is still very much alive.
+    WorkerState& w = workers_[widx];
+    mirror_.SetHostDown(h, true);
+    if (w.st == WorkerState::St::kReady) {
+      Writer cmd;
+      cmd.PutU8(kCmdKillNode);
+      cmd.PutU64(h.value);
+      SendTo(widx, cmd);
+    } else {
+      // Worker down or mid-respawn: the node has no process state to kill,
+      // but a revive queued for it must not come back from the dead.
+      std::erase_if(w.revives,
+                    [&h](const std::unique_ptr<Revive>& rev) { return rev->host == h; });
+    }
+    BroadcastFaults();
+    FailPendingForHost(h);
   }
 
   void RestartHost(HostId h) override {
-    WorkerState& w = worker_of(h);
-    if (w.st == WorkerState::St::kSpawning && w.kill_on_ready) {
-      // Crash raced the previous spawn; the in-flight fork is already a
-      // fresh incarnation, so adopt it instead of spawning another.
-      w.kill_on_ready = false;
-      return;
+    // Clear the host's down rule everywhere FIRST: an in-place kill (or an
+    // in-place kill followed by a whole-machine crash) left it in the
+    // mirror, and a stale rule would silently refuse the fresh incarnation.
+    // Channel FIFO orders this broadcast before the revive's CreateNode.
+    mirror_.SetHostDown(h, false);
+    BroadcastFaults();
+    const uint32_t widx = widx_of(h);
+    WorkerState& w = workers_[widx];
+    switch (w.st) {
+      case WorkerState::St::kSpawning:
+        // Crash raced a previous spawn (kill_on_ready: the in-flight fork is
+        // already a fresh incarnation — adopt it), or a machine restart is
+        // reviving co-tenants one by one while the respawn is in flight.
+        // Either way the pending Hello serves this host's queued revive.
+        w.kill_on_ready = false;
+        return;
+      case WorkerState::St::kReady:
+        // Multi-tenant in-place revive: the process is alive; QueueRevive
+        // re-creates the node inside it immediately.
+        FUSE_CHECK(placement_.MultiTenant()) << "restart of live worker " << widx;
+        return;
+      case WorkerState::St::kDead:
+        w.st = WorkerState::St::kSpawning;
+        RequestSpawn(widx);
+        return;
     }
-    FUSE_CHECK(w.st == WorkerState::St::kDead) << "restart of live worker " << widx_of(h);
-    w.st = WorkerState::St::kSpawning;
-    RequestSpawn(widx_of(h));
+  }
+
+  void CrashMachine(const std::vector<HostId>& hosts) override {
+    // The machine is the unit of failure: one SIGKILL takes down every
+    // co-hosted node at once, no matter how many tenants the worker has.
+    FUSE_CHECK(!hosts.empty()) << "machine crash with no hosts";
+    const uint32_t widx = widx_of(hosts[0]);
+    for (const HostId h : hosts) {
+      FUSE_CHECK(widx_of(h) == widx) << "machine crash spans workers";
+    }
+    KillMachineWorker(widx);
   }
 
   void ApplyFaults(const std::function<void(FaultInjector&)>& fn) override {
@@ -461,7 +503,7 @@ class ProcessDeployment : public LoopDeployment {
       return;
     }
     const uint64_t seq = next_seq_++;
-    pending_joins_.emplace(seq, PendingJoin{widx_of(h), std::move(cb)});
+    pending_joins_.emplace(seq, PendingJoin{widx_of(h), h.value, std::move(cb)});
     Writer w;
     w.PutU8(kCmdJoin);
     w.PutU64(h.value);
@@ -494,7 +536,7 @@ class ProcessDeployment : public LoopDeployment {
       return;
     }
     const uint64_t seq = next_seq_++;
-    pending_creates_.emplace(seq, PendingCreate{widx_of(root), std::move(cb)});
+    pending_creates_.emplace(seq, PendingCreate{widx_of(root), root.value, std::move(cb)});
     Writer w;
     w.PutU8(kCmdCreateGroup);
     w.PutU64(root.value);
@@ -520,29 +562,42 @@ class ProcessDeployment : public LoopDeployment {
     SendTo(widx_of(h), w);
   }
 
-  // Defers node creation + rejoin until the respawned worker reports in.
+  // Re-creates the node and rejoins it: immediately on a live multi-tenant
+  // worker, or deferred until the respawned worker reports in.
   void QueueRevive(HostId h, std::string name, uint64_t numeric, HostId boot,
                    std::function<void(const Status&)> join_cb) {
     WorkerState& w = worker_of(h);
+    if (w.st == WorkerState::St::kReady) {
+      // In-place revive: RestartHost already cleared the host-down rule (and
+      // FIFO put that broadcast ahead of these frames).
+      SendCreateNode(h, name, numeric);
+      SendJoin(h, boot, /*start_maint=*/true, std::move(join_cb));
+      return;
+    }
     FUSE_CHECK(w.st == WorkerState::St::kSpawning) << "revive without restart";
-    w.revive = std::make_unique<Revive>(
-        Revive{h, std::move(name), numeric, boot, std::move(join_cb)});
+    w.revives.push_back(std::make_unique<Revive>(
+        Revive{h, std::move(name), numeric, boot, std::move(join_cb)}));
   }
 
   bool WorkerUsable(size_t widx) const {
     return workers_[widx].st == WorkerState::St::kReady;
   }
 
-  // Sums the transport event counters (send/recv syscalls, datagrams,
-  // retransmits, dedupe suppressions) across every live worker — the
-  // process-backend view of the metrics the datagram fabric maintains.
-  // Generation-tagged so a laggard reply from an earlier collection can
-  // never pollute this one. Best-effort: workers that die mid-collection
-  // just leave the bound to expire with whatever arrived.
-  std::map<std::string, uint64_t> CollectTransportCounters(Duration bound) {
+  // Whether commands for this host currently have a process to land in.
+  bool HostUsable(HostId h) const { return WorkerUsable(widx_of(h)); }
+
+  size_t NumWorkers() const { return workers_.size(); }
+
+  // Snapshots the transport event counters (send/recv syscalls, datagrams,
+  // retransmits, dedupe suppressions) of every live worker — the
+  // process-backend view of the metrics each worker's fabric maintains,
+  // broken down per machine. Generation-tagged so a laggard reply from an
+  // earlier collection can never pollute this one. Best-effort: a worker
+  // that dies mid-collection leaves its slot empty when the bound expires.
+  std::vector<std::map<std::string, uint64_t>> CollectTransportCounters(Duration bound) {
     runtime_->RunOnLoop([&] {
       ++stats_gen_;
-      stats_sum_.clear();
+      stats_by_worker_.assign(workers_.size(), {});
       stats_expected_ = 0;
       stats_received_ = 0;
       Writer w;
@@ -556,8 +611,8 @@ class ProcessDeployment : public LoopDeployment {
       }
     });
     AwaitCondition([this] { return stats_received_ >= stats_expected_; }, bound);
-    std::map<std::string, uint64_t> out;
-    runtime_->RunOnLoop([&] { out = stats_sum_; });
+    std::vector<std::map<std::string, uint64_t>> out;
+    runtime_->RunOnLoop([&] { out = stats_by_worker_; });
     return out;
   }
 
@@ -578,15 +633,19 @@ class ProcessDeployment : public LoopDeployment {
     uint32_t incarnation = 0;
     uint16_t port = 0;  // latest advertised port (kept across death)
     std::unique_ptr<FramedSocket> ctrl;
-    std::unique_ptr<Revive> revive;
+    // Revives awaiting the respawned worker's Hello — after a machine crash,
+    // one per co-hosted node being restarted.
+    std::vector<std::unique_ptr<Revive>> revives;
   };
 
   struct PendingJoin {
     uint32_t widx;
+    uint64_t host;
     std::function<void(const Status&)> cb;
   };
   struct PendingCreate {
     uint32_t widx;
+    uint64_t host;
     std::function<void(const Status&, FuseId)> cb;
   };
 
@@ -611,9 +670,13 @@ class ProcessDeployment : public LoopDeployment {
   explicit ProcessDeployment(Bootstrapped b)
       : LoopDeployment(ControllerRuntimeConfig(b.cfg)),
         cfg_(std::move(b.cfg)),
+        placement_(cfg_.MakePlacement()),
         spawner_fd_(b.spawner_fd),
         spawner_pid_(b.spawner_pid) {
-    workers_.resize(static_cast<size_t>(cfg_.num_nodes));
+    // Addresses of peers outside this deployment (another controller's
+    // workers on another machine) underlay the workers' own advertisements.
+    addr_map_.Merge(cfg_.static_addrs);
+    workers_.resize(static_cast<size_t>(placement_.NumMachines()));
     for (uint32_t i = 0; i < workers_.size(); ++i) {
       RequestSpawn(i);
     }
@@ -622,7 +685,9 @@ class ProcessDeployment : public LoopDeployment {
     runtime_->WatchFd(spawner_fd_, EPOLLIN, [this](uint32_t) { OnSpawnerReadable(); });
   }
 
-  static uint32_t widx_of(HostId h) { return static_cast<uint32_t>(h.value); }
+  uint32_t widx_of(HostId h) const {
+    return static_cast<uint32_t>(placement_.MachineOf(static_cast<size_t>(h.value)));
+  }
   WorkerState& worker_of(HostId h) { return workers_[widx_of(h)]; }
 
   void RequestSpawn(uint32_t widx) {
@@ -687,7 +752,7 @@ class ProcessDeployment : public LoopDeployment {
           // destroying the socket from its own on_frame — kill the process
           // now but release the channel from a fresh loop event.
           w.kill_on_ready = false;
-          w.revive.reset();
+          w.revives.clear();
           w.st = WorkerState::St::kDead;
           if (w.pid > 0) {
             ::kill(w.pid, SIGKILL);
@@ -704,12 +769,20 @@ class ProcessDeployment : public LoopDeployment {
           return;
         }
         w.st = WorkerState::St::kReady;
+        // Every node this worker hosts now answers at the fresh port.
+        for (const size_t node : placement_.NodesOn(static_cast<int>(widx))) {
+          addr_map_.Set(HostId(static_cast<uint64_t>(node)),
+                        PeerEndpoint::Loopback(w.port));
+        }
         SendFaultsTo(widx);
         BroadcastAddrs();
-        if (w.revive != nullptr) {
-          std::unique_ptr<Revive> rev = std::move(w.revive);
-          SendCreateNode(rev->host, rev->name, rev->numeric);
-          SendJoin(rev->host, rev->boot, /*start_maint=*/true, std::move(rev->join_cb));
+        if (!w.revives.empty()) {
+          std::vector<std::unique_ptr<Revive>> revives = std::move(w.revives);
+          w.revives.clear();
+          for (std::unique_ptr<Revive>& rev : revives) {
+            SendCreateNode(rev->host, rev->name, rev->numeric);
+            SendJoin(rev->host, rev->boot, /*start_maint=*/true, std::move(rev->join_cb));
+          }
         }
         return;
       }
@@ -764,10 +837,11 @@ class ProcessDeployment : public LoopDeployment {
           return;  // stale reply from a previous collection
         }
         const uint32_t n = r.GetU32();
+        std::map<std::string, uint64_t>& slot = stats_by_worker_[widx];
         for (uint32_t i = 0; i < n && r.ok(); ++i) {
           std::string name = r.GetString();
           const uint64_t value = r.GetU64();
-          stats_sum_[std::move(name)] += value;
+          slot[std::move(name)] = value;
         }
         ++stats_received_;
         return;
@@ -792,7 +866,7 @@ class ProcessDeployment : public LoopDeployment {
     // A crash requested against a spawn that died on its own must not carry
     // over and SIGKILL the next incarnation at its Hello.
     w.kill_on_ready = false;
-    w.revive.reset();
+    w.revives.clear();
     w.ctrl.reset();
   }
 
@@ -803,10 +877,47 @@ class ProcessDeployment : public LoopDeployment {
     w.ctrl.reset();
   }
 
+  // Fail-stop of one whole machine, whatever its state. Everything pending
+  // against its nodes fails with kBroken.
+  void KillMachineWorker(uint32_t widx) {
+    WorkerState& w = workers_[widx];
+    switch (w.st) {
+      case WorkerState::St::kReady:
+        KillWorker(w);
+        w.st = WorkerState::St::kDead;
+        break;
+      case WorkerState::St::kSpawning:
+        // The fork is in flight; kill the process the moment it reports in.
+        w.kill_on_ready = true;
+        w.revives.clear();
+        break;
+      case WorkerState::St::kDead:
+        FUSE_CHECK(false) << "crash of already-dead worker " << widx;
+    }
+    FailPendingFor(widx);
+  }
+
   void FailPendingFor(uint32_t widx) {
+    FailPendingMatching([widx](uint32_t w, uint64_t host) {
+      (void)host;
+      return w == widx;
+    });
+  }
+
+  // Multi-tenant single-node crash: only the victim's pending work breaks;
+  // co-tenants' in-flight joins and creates ride on.
+  void FailPendingForHost(HostId h) {
+    FailPendingMatching([host = h.value](uint32_t w, uint64_t ph) {
+      (void)w;
+      return ph == host;
+    });
+  }
+
+  template <typename Pred>
+  void FailPendingMatching(Pred&& dead) {
     std::vector<std::function<void(const Status&)>> joins;
     for (auto it = pending_joins_.begin(); it != pending_joins_.end();) {
-      if (it->second.widx == widx) {
+      if (dead(it->second.widx, it->second.host)) {
         joins.push_back(std::move(it->second.cb));
         it = pending_joins_.erase(it);
       } else {
@@ -815,7 +926,7 @@ class ProcessDeployment : public LoopDeployment {
     }
     std::vector<std::function<void(const Status&, FuseId)>> creates;
     for (auto it = pending_creates_.begin(); it != pending_creates_.end();) {
-      if (it->second.widx == widx) {
+      if (dead(it->second.widx, it->second.host)) {
         creates.push_back(std::move(it->second.cb));
         it = pending_creates_.erase(it);
       } else {
@@ -851,22 +962,10 @@ class ProcessDeployment : public LoopDeployment {
   }
 
   void BroadcastAddrs() {
+    // Encode the full controller map once (the shared control-protocol
+    // codec), send to every live worker; each overlays it onto its fabric.
     Writer w;
-    w.PutU8(kCmdAddrs);
-    w.PutU8(static_cast<uint8_t>(cfg_.transport));
-    uint32_t n = 0;
-    for (const WorkerState& ws : workers_) {
-      if (ws.port != 0) {
-        ++n;
-      }
-    }
-    w.PutU32(n);
-    for (size_t i = 0; i < workers_.size(); ++i) {
-      if (workers_[i].port != 0) {
-        w.PutU64(i);  // host id == worker index (one node per worker)
-        w.PutU16(workers_[i].port);
-      }
-    }
+    EncodeAddrs(w, cfg_.transport, addr_map_);
     for (uint32_t i = 0; i < workers_.size(); ++i) {
       if (workers_[i].st == WorkerState::St::kReady) {
         SendTo(i, w);
@@ -894,16 +993,21 @@ class ProcessDeployment : public LoopDeployment {
   }
 
   ProcessClusterConfig cfg_;
+  Placement placement_;
   FaultInjector mirror_;
+  // The controller's authoritative host -> endpoint map; every worker Hello
+  // updates it and the whole map is re-broadcast (workers overlay, so a
+  // restarted machine's new port retargets even in-flight retransmits).
+  PeerAddressMap addr_map_;
   int spawner_fd_ = -1;
   pid_t spawner_pid_ = -1;
   std::vector<WorkerState> workers_;
   uint64_t next_seq_ = 1;
-  // Transport-counter collection state (loop thread only).
+  // Transport-counter collection state (loop thread only), per worker.
   uint64_t stats_gen_ = 0;
   uint32_t stats_expected_ = 0;
   uint32_t stats_received_ = 0;
-  std::map<std::string, uint64_t> stats_sum_;
+  std::vector<std::map<std::string, uint64_t>> stats_by_worker_;
   std::unordered_map<uint64_t, PendingJoin> pending_joins_;
   std::unordered_map<uint64_t, PendingCreate> pending_creates_;
   std::map<std::tuple<uint64_t, uint64_t, uint64_t>, std::vector<std::function<void()>>>
@@ -939,6 +1043,7 @@ HarnessConfig HarnessConfigFrom(const ProcessClusterConfig& c) {
   hc.fuse = c.fuse;
   hc.join_batch = c.join_batch;
   hc.timing = c.timing;
+  hc.placement = c.MakePlacement();
   return hc;
 }
 
@@ -960,7 +1065,7 @@ ProcessCluster::~ProcessCluster() {
 bool ProcessCluster::IsUp(size_t i) const {
   // A respawning worker is not usable yet (no process to command); sample
   // from the protocol context during churn, as with the other backends.
-  return up_[i] && pd_->WorkerUsable(i);
+  return up_[i] && pd_->HostUsable(hosts_[i]);
 }
 
 bool ProcessCluster::IsJoined(size_t i) { return joined_[i]; }
@@ -994,8 +1099,9 @@ void ProcessCluster::StartMaintenanceInContext(size_t i) {
 void ProcessCluster::LeafExchangeInContext(size_t i) { pd_->SendLeafExchange(hosts_[i]); }
 
 void ProcessCluster::RetireNodeInContext(size_t i) {
-  // The process is already dead (SIGKILL in CrashHost); nothing in this
-  // process holds node state.
+  // The node's process state is already gone (SIGKILL for a whole machine,
+  // the worker-side graveyard for an in-place kill); nothing in this process
+  // holds node state.
   joined_[i] = false;
 }
 
@@ -1018,8 +1124,18 @@ void ProcessCluster::WatchGroupMemberInContext(size_t m, FuseId id,
   pd_->SendWatch(hosts_[m], id, std::move(on_fire));
 }
 
-std::map<std::string, uint64_t> ProcessCluster::TransportCounters() {
+std::vector<std::map<std::string, uint64_t>> ProcessCluster::TransportCountersByMachine() {
   return pd_->CollectTransportCounters(Duration::Seconds(5));
+}
+
+std::map<std::string, uint64_t> ProcessCluster::TransportCounters() {
+  std::map<std::string, uint64_t> sum;
+  for (const auto& machine : TransportCountersByMachine()) {
+    for (const auto& [name, value] : machine) {
+      sum[name] += value;
+    }
+  }
+  return sum;
 }
 
 }  // namespace fuse

@@ -18,6 +18,8 @@ const char* ScenarioKindName(ScenarioKind kind) {
       return "PartitionHeal";
     case ScenarioKind::kChurnDuringCreate:
       return "ChurnDuringCreate";
+    case ScenarioKind::kMachineFailure:
+      return "MachineFailure";
   }
   return "Unknown";
 }
@@ -112,10 +114,144 @@ void WatchGroup(ClusterHarness& cluster, const std::shared_ptr<Group>& g) {
   });
 }
 
+// The machine-failure schedule (ScenarioKind::kMachineFailure): kill one
+// whole machine, then check exactly-once on every group that spanned it and
+// silence on every group that did not.
+ScenarioResult RunMachineFailure(ClusterHarness& cluster, const ScenarioOptions& options) {
+  ScenarioResult res;
+  const ScenarioTiming& tm = options.timing;
+  Rng fault_rng(options.seed * 7919 + 17);
+  char buf[160];
+  auto violate = [&res](const char* v) { res.violations.emplace_back(v); };
+
+  const Placement& pl = cluster.placement();
+  FUSE_CHECK(pl.NumMachines() >= 2) << "machine failure needs a multi-machine placement";
+  const int victim =
+      static_cast<int>(fault_rng.UniformInt(0, static_cast<int64_t>(pl.NumMachines()) - 1));
+
+  // Live nodes on vs off the victim machine.
+  std::vector<size_t> on;
+  std::vector<size_t> off;
+  cluster.Run([&] {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      if (cluster.IsUp(i)) {
+        (cluster.MachineOf(i) == victim ? on : off).push_back(i);
+      }
+    }
+  });
+  FUSE_CHECK(!on.empty()) << "victim machine " << victim << " has no live nodes";
+  FUSE_CHECK(off.size() >= static_cast<size_t>(options.max_group_size) + 2)
+      << "not enough nodes off machine " << victim << " for the scenario";
+
+  // Even groups span the victim machine (they must notify); odd groups are
+  // machine-disjoint controls (they must stay silent: the machine loss makes
+  // their repair paths replace dead delegates WITHOUT notifying).
+  std::vector<std::shared_ptr<Group>> spanning;
+  std::vector<std::shared_ptr<Group>> disjoint;
+  for (int gi = 0; gi < options.num_groups; ++gi) {
+    auto g = std::make_shared<Group>();
+    const size_t size = static_cast<size_t>(
+        fault_rng.UniformInt(options.min_group_size, options.max_group_size));
+    const bool spans = gi % 2 == 0;
+    fault_rng.Shuffle(on);
+    fault_rng.Shuffle(off);
+    if (spans) {
+      // One or two members on the doomed machine, the rest elsewhere; the
+      // create root is randomized over the whole membership (a root on the
+      // victim machine exercises the dead-root notification path).
+      const size_t on_count = std::min(on.size(), size >= 4 ? size_t{2} : size_t{1});
+      g->members.assign(on.begin(), on.begin() + static_cast<long>(on_count));
+      g->members.insert(g->members.end(), off.begin(),
+                        off.begin() + static_cast<long>(size - on_count));
+      fault_rng.Shuffle(g->members);
+    } else {
+      g->members.assign(off.begin(), off.begin() + static_cast<long>(size));
+    }
+    const int verdict = CreateGroupBounded(cluster, *g, tm.create_bound);
+    if (verdict != 1) {
+      ++res.creates_failed;
+      std::snprintf(buf, sizeof(buf), "create of group %d %s", gi,
+                    verdict == 0 ? "failed without a fault" : "returned no verdict within bound");
+      violate(buf);
+      continue;
+    }
+    ++res.groups_created;
+    WatchGroup(cluster, g);
+    (spans ? spanning : disjoint).push_back(std::move(g));
+  }
+  if (spanning.empty()) {
+    return res;  // nothing left to check; the create violations tell the story
+  }
+  cluster.AdvanceFor(tm.settle);
+
+  // The fault: one machine dies as a single event.
+  std::set<size_t> crashed(on.begin(), on.end());
+  cluster.CrashMachine(static_cast<size_t>(victim));
+
+  // Timing half: every live member of every spanning group hears about the
+  // failure within the analytic bound.
+  const bool in_bound = cluster.Await(
+      [&] {
+        for (const auto& g : spanning) {
+          for (size_t m : g->members) {
+            if (crashed.contains(m)) {
+              continue;
+            }
+            const auto it = g->fired.find(m);
+            if (it == g->fired.end() || it->second < 1) {
+              return false;
+            }
+          }
+        }
+        return true;
+      },
+      tm.detect_bound);
+  if (!in_bound) {
+    violate("notification did not reach every live member of a spanning group within the bound");
+  }
+  cluster.AdvanceFor(tm.post_settle);
+
+  // Exactness half: exactly-once on spanning groups, silence on disjoint
+  // ones (a false positive here means machine-level repair notified a group
+  // the failure never touched).
+  cluster.Run([&] {
+    for (const auto& g : spanning) {
+      for (size_t m : g->members) {
+        if (crashed.contains(m)) {
+          continue;
+        }
+        const auto it = g->fired.find(m);
+        const int count = it == g->fired.end() ? 0 : it->second;
+        if (count != 1) {
+          std::snprintf(buf, sizeof(buf),
+                        "spanning-group member %zu heard %d notifications (want 1)", m, count);
+          violate(buf);
+        } else {
+          ++res.notified;
+        }
+      }
+    }
+    for (const auto& g : disjoint) {
+      for (const auto& [m, count] : g->fired) {
+        if (count > 0) {
+          std::snprintf(buf, sizeof(buf),
+                        "machine-disjoint group notified member %zu %d times (want silence)", m,
+                        count);
+          violate(buf);
+        }
+      }
+    }
+  });
+  return res;
+}
+
 }  // namespace
 
 ScenarioResult RunAgreementScenario(ClusterHarness& cluster, ScenarioKind kind,
                                     const ScenarioOptions& options) {
+  if (kind == ScenarioKind::kMachineFailure) {
+    return RunMachineFailure(cluster, options);
+  }
   ScenarioResult res;
   const ScenarioTiming& tm = options.timing;
   Rng fault_rng(options.seed * 7919 + 13);
@@ -191,6 +327,7 @@ ScenarioResult RunAgreementScenario(ClusterHarness& cluster, ScenarioKind kind,
   Group& target = *groups[0];
   std::set<size_t> crashed;
   switch (kind) {
+    case ScenarioKind::kMachineFailure:  // handled above; unreachable
     case ScenarioKind::kCrashMember:
     case ScenarioKind::kChurnDuringCreate: {
       const size_t victim =

@@ -30,6 +30,13 @@ enum class ScenarioKind {
   // crash a member: creation must complete with a definite verdict despite
   // churn, and the agreement property must hold on the created groups.
   kChurnDuringCreate,
+  // Crash one whole machine (every co-hosted node at once — one SIGKILL on
+  // the process backend): every group spanning the machine must notify each
+  // of its live members exactly once, while machine-disjoint groups hear
+  // nothing — co-hosted repair (dead delegates replaced without notifying)
+  // must not turn a machine loss into false positives. Requires a placement
+  // with at least two machines.
+  kMachineFailure,
 };
 
 const char* ScenarioKindName(ScenarioKind kind);

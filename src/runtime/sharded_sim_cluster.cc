@@ -89,6 +89,9 @@ HarnessConfig HarnessConfigFrom(const ClusterConfig& c) {
   hc.overlay = c.overlay;
   hc.fuse = c.fuse;
   hc.join_batch = c.join_batch;
+  // Same blocked machine map as the classic backend (CreateHost starts a new
+  // router at every placement boundary).
+  hc.placement = Placement::Pack(c.num_nodes, c.hosts_per_machine < 1 ? 1 : c.hosts_per_machine);
   return hc;  // timing keeps the virtual-time defaults
 }
 

@@ -70,6 +70,10 @@ HarnessConfig HarnessConfigFrom(const ClusterConfig& c) {
   hc.overlay = c.overlay;
   hc.fuse = c.fuse;
   hc.join_batch = c.join_batch;
+  // Blocked layout matching SimDeployment::CreateHost's router boundary
+  // (`index % hosts_per_machine == 0` starts a new machine), so the harness's
+  // machine map names exactly the co-location the topology models.
+  hc.placement = Placement::Pack(c.num_nodes, c.hosts_per_machine < 1 ? 1 : c.hosts_per_machine);
   return hc;  // timing keeps the virtual-time defaults
 }
 

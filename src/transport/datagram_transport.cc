@@ -47,6 +47,20 @@ sockaddr_in LoopbackAddr(uint16_t port) {
   return addr;
 }
 
+sockaddr_in AddrFor(const PeerEndpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ep.ip);
+  addr.sin_port = htons(ep.port);
+  return addr;
+}
+
+// Packs a datagram source into the same (ip, port) key PeerEndpoint::Key
+// produces, so ack batches aggregate per sending fabric across machines.
+uint64_t SrcKey(const sockaddr_in& src) {
+  return (uint64_t{ntohl(src.sin_addr.s_addr)} << 16) | ntohs(src.sin_port);
+}
+
 }  // namespace
 
 // --- DatagramTransport ----------------------------------------------------
@@ -105,8 +119,6 @@ uint16_t DatagramFabric::Listen() {
   rt_->WatchFd(fd_, EPOLLIN, [this](uint32_t ev) { OnReadable(ev); });
   return port_;
 }
-
-void DatagramFabric::SetPeerAddr(HostId h, uint16_t port) { peer_port_[h.value] = port; }
 
 DatagramTransport* DatagramFabric::TransportFor(HostId local) {
   auto& t = locals_[local.value];
@@ -181,7 +193,7 @@ void DatagramFabric::SendFrom(HostId /*from*/, WireMessage msg, Transport::SendC
     });
     return;
   }
-  if (!peer_port_.contains(msg.to.value)) {
+  if (!addrs_.Contains(msg.to)) {
     FailSend(std::move(cb), "datagram: no address for destination");
     return;
   }
@@ -267,10 +279,12 @@ void DatagramFabric::FlushAll() {
     if (p->ready.empty()) {
       continue;
     }
-    const auto pit = peer_port_.find(to_key);
+    // Per-transmit resolution: a retransmit after the peer re-advertised (a
+    // restarted worker on a fresh port) goes to the *new* endpoint.
+    const PeerEndpoint* ep = addrs_.Find(HostId(to_key));
     OutDatagram cur;
-    if (pit != peer_port_.end()) {
-      cur.addr = LoopbackAddr(pit->second);
+    if (ep != nullptr) {
+      cur.addr = AddrFor(*ep);
     }
     for (const uint64_t seq : p->ready) {
       auto uit = p->unacked.find(seq);
@@ -279,7 +293,7 @@ void DatagramFabric::FlushAll() {
       }
       Unacked& u = uit->second;
       u.attempts++;
-      if (pit == peer_port_.end()) {
+      if (ep == nullptr) {
         continue;  // no address (stale retransmit): stays unacked, RTO decides
       }
       // Native datagram fault semantics: a blocked or burst-lost record is
@@ -310,7 +324,7 @@ void DatagramFabric::FlushAll() {
       if (!cur.bytes.empty() && cur.bytes.size() + u.wire.size() > opts_.mtu_budget) {
         batch.push_back(std::move(cur));
         cur = OutDatagram{};
-        cur.addr = LoopbackAddr(pit->second);
+        cur.addr = AddrFor(*ep);
       }
       cur.bytes.insert(cur.bytes.end(), u.wire.begin(), u.wire.end());
       cur.records++;
@@ -585,7 +599,7 @@ void DatagramFabric::QueueAck(const sockaddr_in& src, uint64_t session, uint64_t
   w.PutU64(session);
   w.PutU64(seq);
   w.PutU64(acker.value);
-  auto& buf = ack_batch_[ntohs(src.sin_port)];
+  auto& buf = ack_batch_[SrcKey(src)];
   buf.insert(buf.end(), w.bytes().begin(), w.bytes().end());
 }
 
@@ -594,14 +608,15 @@ void DatagramFabric::FlushAcks() {
     return;
   }
   std::vector<OutDatagram> batch;
-  for (auto& [port, buf] : ack_batch_) {
+  for (auto& [src_key, buf] : ack_batch_) {
     size_t off = 0;
     while (off < buf.size()) {
       const size_t chunk =
           std::min(buf.size() - off,
                    (opts_.mtu_budget / kAckRecordBytes) * kAckRecordBytes);
       OutDatagram g;
-      g.addr = LoopbackAddr(port);
+      g.addr = AddrFor(PeerEndpoint{static_cast<uint32_t>(src_key >> 16),
+                                    static_cast<uint16_t>(src_key & 0xffff)});
       g.bytes.assign(buf.begin() + static_cast<ptrdiff_t>(off),
                      buf.begin() + static_cast<ptrdiff_t>(off + chunk));
       g.records = 0;  // acks are not data records (batch occupancy excludes them)

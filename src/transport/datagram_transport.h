@@ -115,10 +115,10 @@ class DatagramFabric : public Fabric {
   // receiving. Returns the port (advertised to peers out of band).
   uint16_t Listen() override;
 
-  // Address map maintenance: host -> loopback UDP port. Re-advertising a
-  // host (a restarted incarnation on a fresh port) retargets future
-  // datagrams, including pending retransmits.
-  void SetPeerAddr(HostId h, uint16_t port) override;
+  // Peer addresses come from the base Fabric's PeerAddressMap (SetPeerAddr /
+  // ApplyAddressMap). Destinations resolve per *transmit*, not per send:
+  // re-advertising a host (a restarted incarnation on a fresh port)
+  // retargets future datagrams, including pending retransmits.
 
   DatagramTransport* TransportFor(HostId local) override;
   bool IsLocal(HostId h) const { return locals_.contains(h.value); }
@@ -207,15 +207,14 @@ class DatagramFabric : public Fabric {
   bool used_mmsg_ = false;
   DebugStats stats_;
 
-  std::unordered_map<uint64_t, uint16_t> peer_port_;
   std::unordered_map<uint64_t, std::unique_ptr<DatagramTransport>> locals_;
   std::unordered_map<uint64_t, std::vector<Transport::Handler>> handlers_;
   std::unordered_map<uint64_t, std::unique_ptr<PeerState>> peers_;  // by dest host
   // session -> dest host -> delivery watermark.
   std::unordered_map<uint64_t, std::unordered_map<uint64_t, RecvState>> recv_;
-  // Ack batch accumulated within one read burst, keyed by source port
-  // (loopback: the port identifies the sending fabric).
-  std::map<uint16_t, std::vector<uint8_t>> ack_batch_;
+  // Ack batch accumulated within one read burst, keyed by source endpoint
+  // (PeerEndpoint::Key-packed (ip, port): the sending fabric's socket).
+  std::map<uint64_t, std::vector<uint8_t>> ack_batch_;
 
   Timer flush_timer_;
   Timer rto_timer_;

@@ -1,8 +1,9 @@
 // Fabric: the deployment-facing surface shared by the real (inter-process
 // capable) messaging layers — the TCP socket fabric and the UDP datagram
 // fabric. A fabric owns the OS sockets for one process, hosts one or more
-// local Transport endpoints, keeps a host -> port address map, and mirrors
-// the FaultInjector rule set so fault schedules apply to real traffic.
+// local Transport endpoints, keeps a host -> (ip, port) PeerAddressMap, and
+// mirrors the FaultInjector rule set so fault schedules apply to real
+// traffic.
 //
 // Deployments select a fabric per run (ClusterConfig-level `transport`):
 //   * kInProcess — LiveRuntime's in-memory delivery (no fabric; live
@@ -17,6 +18,7 @@
 #include <cstdint>
 
 #include "net/fault_injector.h"
+#include "transport/peer_address_map.h"
 #include "transport/transport.h"
 
 namespace fuse {
@@ -48,9 +50,18 @@ class Fabric {
   // deployment's address map).
   virtual uint16_t Listen() = 0;
 
-  // Address map maintenance: host -> loopback port. Re-advertising a host (a
-  // restarted incarnation on a fresh port) retargets future traffic.
-  virtual void SetPeerAddr(HostId h, uint16_t port) = 0;
+  // Address map maintenance: host -> (ip, port). Send paths resolve the
+  // destination endpoint from the map at transmit time, so re-advertising a
+  // host (a restarted incarnation on a fresh port, or a node on another
+  // machine) retargets future traffic — including pending retransmits on the
+  // datagram fabric. The port-only overload is the loopback shorthand for
+  // same-machine peers.
+  void SetPeerAddr(HostId h, const PeerEndpoint& ep) { addrs_.Set(h, ep); }
+  void SetPeerAddr(HostId h, uint16_t port) { addrs_.Set(h, PeerEndpoint::Loopback(port)); }
+  // Overlays a whole map (e.g. a controller's addr-map broadcast, or a
+  // multi-host deployment file loaded via PeerAddressMap::LoadFile).
+  void ApplyAddressMap(const PeerAddressMap& m) { addrs_.Merge(m); }
+  const PeerAddressMap& peer_addrs() const { return addrs_; }
 
   // Creates (or returns) the transport endpoint for a host local to this
   // process.
@@ -62,6 +73,11 @@ class Fabric {
 
   // The fabric's fault-rule mirror, evaluated on every send and delivery.
   virtual FaultInjector& faults() = 0;
+
+ protected:
+  // The resolution surface shared by every fabric; concrete fabrics read it
+  // at transmit/dial time and never cache resolved endpoints across sends.
+  PeerAddressMap addrs_;
 };
 
 }  // namespace fuse

@@ -1,0 +1,199 @@
+#include "transport/peer_address_map.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace fuse {
+
+namespace {
+
+// Parses a decimal u64 from [*p, end); advances *p past the digits. False if
+// no digit is present or the value overflows `max`.
+bool ParseU64(const char** p, const char* end, uint64_t max, uint64_t* out) {
+  const char* s = *p;
+  if (s == end || !std::isdigit(static_cast<unsigned char>(*s))) {
+    return false;
+  }
+  uint64_t v = 0;
+  while (s != end && std::isdigit(static_cast<unsigned char>(*s))) {
+    v = v * 10 + static_cast<uint64_t>(*s - '0');
+    if (v > max) {
+      return false;
+    }
+    ++s;
+  }
+  *p = s;
+  *out = v;
+  return true;
+}
+
+// Parses `a.b.c.d:port` or the loopback shorthand `port`.
+bool ParseEndpoint(const char* p, const char* end, PeerEndpoint* out) {
+  uint64_t first = 0;
+  if (!ParseU64(&p, end, 255, &first)) {
+    // A bare port > 255 fails the octet bound above; retry as port-only.
+    uint64_t port = 0;
+    if (!ParseU64(&p, end, 65535, &port) || p != end || port == 0) {
+      return false;
+    }
+    *out = PeerEndpoint::Loopback(static_cast<uint16_t>(port));
+    return true;
+  }
+  if (p == end || *p != '.') {
+    // `first` was a small bare port, not an octet.
+    if (p != end || first == 0) {
+      return false;
+    }
+    *out = PeerEndpoint::Loopback(static_cast<uint16_t>(first));
+    return true;
+  }
+  uint32_t ip = static_cast<uint32_t>(first);
+  for (int octet = 1; octet < 4; ++octet) {
+    if (p == end || *p != '.') {
+      return false;
+    }
+    ++p;
+    uint64_t v = 0;
+    if (!ParseU64(&p, end, 255, &v)) {
+      return false;
+    }
+    ip = (ip << 8) | static_cast<uint32_t>(v);
+  }
+  if (p == end || *p != ':') {
+    return false;
+  }
+  ++p;
+  uint64_t port = 0;
+  if (!ParseU64(&p, end, 65535, &port) || p != end || port == 0) {
+    return false;
+  }
+  out->ip = ip;
+  out->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+}  // namespace
+
+std::string PeerEndpoint::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff, port);
+  return buf;
+}
+
+bool PeerAddressMap::Set(HostId h, const PeerEndpoint& ep) {
+  auto [it, inserted] = map_.try_emplace(h.value, ep);
+  if (!inserted) {
+    if (it->second == ep) {
+      return false;
+    }
+    it->second = ep;
+  }
+  ++version_;
+  return true;
+}
+
+const PeerEndpoint* PeerAddressMap::Find(HostId h) const {
+  const auto it = map_.find(h.value);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void PeerAddressMap::Merge(const PeerAddressMap& other) {
+  for (const auto& [host, ep] : other.map_) {
+    Set(HostId(host), ep);
+  }
+}
+
+void PeerAddressMap::EncodeTo(Writer& w) const {
+  w.PutU32(static_cast<uint32_t>(map_.size()));
+  for (const auto& [host, ep] : map_) {
+    w.PutU64(host);
+    w.PutU32(ep.ip);
+    w.PutU16(ep.port);
+  }
+}
+
+bool PeerAddressMap::DecodeFrom(Reader& r) {
+  const uint32_t count = r.GetU32();
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t host = r.GetU64();
+    PeerEndpoint ep;
+    ep.ip = r.GetU32();
+    ep.port = r.GetU16();
+    if (!r.ok()) {
+      return false;
+    }
+    Set(HostId(host), ep);
+  }
+  return r.ok();
+}
+
+std::string PeerAddressMap::ToText() const {
+  // Sorted by host id so the text form is stable across runs.
+  std::map<uint64_t, PeerEndpoint> sorted(map_.begin(), map_.end());
+  std::string out;
+  for (const auto& [host, ep] : sorted) {
+    out += std::to_string(host) + " " + ep.ToString() + "\n";
+  }
+  return out;
+}
+
+bool PeerAddressMap::FromText(std::string_view text, std::string* err) {
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    size_t b = 0;
+    size_t e = line.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+    line = line.substr(b, e - b);
+    if (line.empty()) {
+      continue;
+    }
+    const char* p = line.data();
+    const char* end = p + line.size();
+    uint64_t host = 0;
+    PeerEndpoint ep;
+    bool ok = ParseU64(&p, end, UINT64_MAX, &host);
+    if (ok) {
+      while (p != end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+      ok = ParseEndpoint(p, end, &ep);
+    }
+    if (!ok) {
+      if (err != nullptr) {
+        *err = "address map line " + std::to_string(line_no) + ": expected '<host> <ip>:<port>'" +
+               ", got '" + std::string(line) + "'";
+      }
+      return false;
+    }
+    Set(HostId(host), ep);
+  }
+  return true;
+}
+
+bool PeerAddressMap::LoadFile(const std::string& path, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (err != nullptr) {
+      *err = "address map: cannot open '" + path + "'";
+    }
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return FromText(ss.str(), err);
+}
+
+}  // namespace fuse

@@ -1,0 +1,92 @@
+// Config-driven peer address resolution: the single host -> (ip, port)
+// surface behind Fabric::SetPeerAddr.
+//
+// Every real-socket fabric (framed TCP, coalescing UDP) resolves destination
+// endpoints from one of these maps *at transmit time*, never at enqueue time,
+// so re-advertising a host — a restarted worker incarnation on a fresh port,
+// or a node migrated to another machine — retargets all future traffic,
+// including retransmits already pending when the map changed. Entries default
+// to loopback, which is why local multi-process workers and remote hosts are
+// addressed through the identical surface: pointing a deployment at real
+// remote machines is a map edit (`FromText`/`LoadFile`), not transport work.
+//
+// This header is portable (no socket headers): fabric.h embeds a map
+// unconditionally, including on non-Linux builds where the socket fabrics
+// themselves are compiled out.
+#ifndef FUSE_TRANSPORT_PEER_ADDRESS_MAP_H_
+#define FUSE_TRANSPORT_PEER_ADDRESS_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/serialize.h"
+
+namespace fuse {
+
+// One peer's location. `ip` is an IPv4 address in host byte order; the
+// default is loopback, so a bare port advertises a same-machine peer.
+struct PeerEndpoint {
+  static constexpr uint32_t kLoopbackIp = 0x7f000001;  // 127.0.0.1
+
+  uint32_t ip = kLoopbackIp;
+  uint16_t port = 0;
+
+  static PeerEndpoint Loopback(uint16_t port) { return PeerEndpoint{kLoopbackIp, port}; }
+
+  // Dense (ip, port) key: equal keys iff equal endpoints. Used to index
+  // per-endpoint state (TCP connections, UDP ack batches) so that N co-hosted
+  // nodes behind one worker share one connection, not N.
+  uint64_t Key() const { return (uint64_t{ip} << 16) | port; }
+
+  bool valid() const { return port != 0; }
+  bool operator==(const PeerEndpoint& o) const { return ip == o.ip && port == o.port; }
+  bool operator!=(const PeerEndpoint& o) const { return !(*this == o); }
+
+  std::string ToString() const;  // "a.b.c.d:port"
+};
+
+class PeerAddressMap {
+ public:
+  // Inserts or replaces the endpoint for `h`. Returns true (and bumps the
+  // version) iff the mapping actually changed.
+  bool Set(HostId h, const PeerEndpoint& ep);
+
+  // nullptr when the host has never been advertised.
+  const PeerEndpoint* Find(HostId h) const;
+  bool Contains(HostId h) const { return Find(h) != nullptr; }
+
+  // Overlays every entry of `other` on top of this map (last write wins).
+  void Merge(const PeerAddressMap& other);
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  // Monotonic counter bumped on every effective Set; lets callers detect
+  // address churn without diffing entries.
+  uint64_t version() const { return version_; }
+  const std::unordered_map<uint64_t, PeerEndpoint>& entries() const { return map_; }
+
+  // Wire form: [u32 count] then (u64 host, u32 ip, u16 port) per entry.
+  // DecodeFrom *merges* (it does not clear first) and returns false on a
+  // malformed frame, leaving already-merged entries in place.
+  void EncodeTo(Writer& w) const;
+  bool DecodeFrom(Reader& r);
+
+  // Text form, one entry per line: `<host-id> <a.b.c.d>:<port>` or the
+  // loopback shorthand `<host-id> <port>`. `#` starts a comment; blank lines
+  // are skipped. FromText merges; on a parse error it reports the offending
+  // line in *err and returns false.
+  std::string ToText() const;
+  bool FromText(std::string_view text, std::string* err);
+  bool LoadFile(const std::string& path, std::string* err);
+
+ private:
+  std::unordered_map<uint64_t, PeerEndpoint> map_;  // by HostId::value
+  uint64_t version_ = 0;
+};
+
+}  // namespace fuse
+
+#endif  // FUSE_TRANSPORT_PEER_ADDRESS_MAP_H_

@@ -274,8 +274,6 @@ SocketTransport* SocketFabric::TransportFor(HostId local) {
   return t.get();
 }
 
-void SocketFabric::SetPeerAddr(HostId h, uint16_t port) { peer_port_[h.value] = port; }
-
 void SocketFabric::RegisterHandler(HostId h, uint16_t type, Transport::Handler handler) {
   const uint8_t slot = MsgTypeSlot(type);
   FUSE_CHECK(slot != 0) << "unknown message type " << type
@@ -335,21 +333,27 @@ void SocketFabric::SendFrom(HostId from, WireMessage msg, Transport::SendCallbac
     return;
   }
 
-  auto it = conns_.find(msg.to.value);
+  // Resolve the destination endpoint from the address map at send time; all
+  // hosts behind the same endpoint (co-hosted nodes of one multi-tenant
+  // worker) share one connection.
+  const PeerEndpoint* ep = addrs_.Find(msg.to);
+  if (ep == nullptr || !ep->valid()) {
+    FailCb(std::move(cb), "socket: no address for destination");
+    return;
+  }
+  const uint64_t key = ep->Key();
+  auto it = conns_.find(key);
   if (it == conns_.end()) {
-    if (!peer_port_.contains(msg.to.value)) {
-      FailCb(std::move(cb), "socket: no address for destination");
-      return;
-    }
     auto conn = std::make_unique<OutConn>(rt_);
-    conn->to = msg.to;
+    conn->ep = *ep;
+    conn->rep_host = msg.to;
     OutConn* c = conn.get();
-    it = conns_.emplace(msg.to.value, std::move(conn)).first;
+    it = conns_.emplace(key, std::move(conn)).first;
     c->sock.set_on_frame([this, c](const uint8_t* d, size_t l) { OnPeerFrame(c, d, l); });
-    c->sock.set_on_close([this, to = msg.to] { BreakConn(to, "socket: connection broke"); });
-    c->sock.set_on_connect([this, to = msg.to](bool ok) { OnConnectResolved(to, ok); });
+    c->sock.set_on_close([this, key] { BreakConn(key, "socket: connection broke"); });
+    c->sock.set_on_connect([this, key](bool ok) { OnConnectResolved(key, ok); });
     StartConnect(c);
-    if (conns_.find(msg.to.value) == conns_.end()) {
+    if (conns_.find(key) == conns_.end()) {
       // The dial failed synchronously past its budget and broke the conn.
       FailCb(std::move(cb), "socket: connect failed");
       return;
@@ -377,27 +381,30 @@ void SocketFabric::SendFrom(HostId from, WireMessage msg, Transport::SendCallbac
 }
 
 void SocketFabric::StartConnect(OutConn* c) {
-  const auto pit = peer_port_.find(c->to.value);
-  if (pit == peer_port_.end()) {
-    BreakConn(c->to, "socket: no address for destination");
+  // Re-resolve the representative host on every (re)dial: if the address map
+  // moved it since this connection was created (a restarted incarnation on a
+  // fresh port), the endpoint is stale — break the conn so queued sends fail
+  // fast and protocol retries resolve the new endpoint.
+  const PeerEndpoint* cur = addrs_.Find(c->rep_host);
+  if (cur == nullptr || cur->Key() != c->ep.Key()) {
+    BreakConn(c->ep.Key(), "socket: peer re-advertised elsewhere");
     return;
   }
-  c->dialed_port = pit->second;
   const int fd = SetNonBlockingSocket();
   if (fd < 0) {
-    BreakConn(c->to, "socket: socket() failed");
+    BreakConn(c->ep.Key(), "socket: socket() failed");
     return;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(c->dialed_port);
+  addr.sin_addr.s_addr = htonl(c->ep.ip);
+  addr.sin_port = htons(c->ep.port);
   const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc == 0) {
     c->sock.Adopt(fd, /*connecting=*/false);
-    OnConnectResolved(c->to, true);
+    OnConnectResolved(c->ep.Key(), true);
     return;
   }
   if (errno == EINPROGRESS) {
@@ -405,11 +412,11 @@ void SocketFabric::StartConnect(OutConn* c) {
     return;
   }
   ::close(fd);
-  OnConnectResolved(c->to, false);
+  OnConnectResolved(c->ep.Key(), false);
 }
 
-void SocketFabric::OnConnectResolved(HostId to, bool ok) {
-  const auto it = conns_.find(to.value);
+void SocketFabric::OnConnectResolved(uint64_t ep_key, bool ok) {
+  const auto it = conns_.find(ep_key);
   if (it == conns_.end()) {
     return;
   }
@@ -423,14 +430,14 @@ void SocketFabric::OnConnectResolved(HostId to, bool ok) {
     return;
   }
   if (++c->attempt >= opts_.max_connect_attempts) {
-    BreakConn(to, "socket: peer refused connection");
+    BreakConn(ep_key, "socket: peer refused connection");
     return;
   }
-  // Exponentialish backoff; the port is re-resolved on each retry so a
+  // Exponentialish backoff; the endpoint is re-resolved on each retry so a
   // restarted peer's fresh advertisement takes effect mid-dial.
   c->retry.Bind(*rt_);
-  c->retry.Start(opts_.connect_retry_backoff * int64_t{c->attempt}, [this, to] {
-    const auto rit = conns_.find(to.value);
+  c->retry.Start(opts_.connect_retry_backoff * int64_t{c->attempt}, [this, ep_key] {
+    const auto rit = conns_.find(ep_key);
     if (rit != conns_.end()) {
       StartConnect(rit->second.get());
     }
@@ -457,8 +464,8 @@ void SocketFabric::OnPeerFrame(OutConn* c, const uint8_t* data, size_t len) {
   }
 }
 
-void SocketFabric::BreakConn(HostId to, const char* why) {
-  const auto it = conns_.find(to.value);
+void SocketFabric::BreakConn(uint64_t ep_key, const char* why) {
+  const auto it = conns_.find(ep_key);
   if (it == conns_.end()) {
     return;
   }

@@ -139,10 +139,11 @@ class SocketFabric : public Fabric {
   // Returns the port (advertised to peers out of band by the deployment).
   uint16_t Listen() override;
 
-  // Address map maintenance: host -> loopback TCP port. Re-advertising a
-  // host (a restarted incarnation on a fresh port) retargets future dials;
-  // an in-progress connection to the stale port runs out its retry budget.
-  void SetPeerAddr(HostId h, uint16_t port) override;
+  // Peer addresses come from the base Fabric's PeerAddressMap (SetPeerAddr /
+  // ApplyAddressMap): every send resolves the destination endpoint from the
+  // map, and every dial retry re-resolves it, so re-advertising a host (a
+  // restarted incarnation on a fresh port) retargets traffic and a
+  // connection to the stale endpoint is broken instead of retried.
 
   // Creates (or returns) the transport endpoint for a host local to this
   // process.
@@ -163,8 +164,12 @@ class SocketFabric : public Fabric {
  private:
   struct OutConn {
     explicit OutConn(LiveRuntime* rt) : sock(rt) {}
-    HostId to;
-    uint16_t dialed_port = 0;
+    // Connections are per destination *endpoint*, not per destination host:
+    // N co-hosted nodes behind one multi-tenant worker share one socket.
+    PeerEndpoint ep;
+    // Any host that resolved to `ep` when the conn was created; dial retries
+    // re-resolve it to detect a re-advertised (moved) endpoint.
+    HostId rep_host;
     int attempt = 0;
     FramedSocket sock;
     Timer retry;
@@ -177,13 +182,13 @@ class SocketFabric : public Fabric {
 
   void OnAccept(uint32_t events);
   void StartConnect(OutConn* c);
-  void OnConnectResolved(HostId to, bool ok);
+  void OnConnectResolved(uint64_t ep_key, bool ok);
   void OnPeerFrame(OutConn* c, const uint8_t* data, size_t len);
   void OnInboundFrame(size_t conn_index, const uint8_t* data, size_t len);
-  // Fails every queued/unacknowledged send on `c` with kBroken and removes
-  // the connection (a later send dials fresh — and picks up a restarted
-  // peer's new port).
-  void BreakConn(HostId to, const char* why);
+  // Fails every queued/unacknowledged send on the connection to `ep_key`
+  // with kBroken and removes it (a later send resolves fresh — and picks up
+  // a restarted peer's new endpoint).
+  void BreakConn(uint64_t ep_key, const char* why);
   // Dispatches to the local handler table; true iff the destination host is
   // local (handler registered or not — delivered-and-ignored still acks).
   bool DispatchLocal(const WireMessage& msg);
@@ -194,10 +199,9 @@ class SocketFabric : public Fabric {
   FaultInjector faults_;
   int listen_fd_ = -1;
   uint16_t listen_port_ = 0;
-  std::unordered_map<uint64_t, uint16_t> peer_port_;
   std::unordered_map<uint64_t, std::unique_ptr<SocketTransport>> locals_;
   std::unordered_map<uint64_t, std::vector<Transport::Handler>> handlers_;
-  std::unordered_map<uint64_t, std::unique_ptr<OutConn>> conns_;  // by dest host
+  std::unordered_map<uint64_t, std::unique_ptr<OutConn>> conns_;  // by PeerEndpoint::Key()
   // Accepted (inbound) connections; slots are reused after close.
   std::vector<std::unique_ptr<FramedSocket>> inbound_;
 };

@@ -23,6 +23,7 @@
 #include "common/serialize.h"
 #include "runtime/live_runtime.h"
 #include "transport/datagram_transport.h"
+#include "transport/peer_address_map.h"
 
 namespace fuse {
 namespace {
@@ -283,6 +284,144 @@ TEST(DatagramSemantics, CongestionWindowClampsUnderLossBurst) {
   EXPECT_LT(stats.min_cwnd, defaults.cwnd_max) << "the window was never clamped";
   EXPECT_GE(stats.min_cwnd, defaults.cwnd_min);
   EXPECT_GT(retransmit_counter, 0u);
+}
+
+// Address-map churn retargets traffic already in flight. A record is sent to
+// a dead incarnation of the destination host (its fabric drops everything for
+// the killed host without acking — exactly what a SIGKILLed worker looks like
+// on this transport), retransmits accumulate against that stale endpoint, and
+// then the restarted incarnation advertises a fresh port via SetPeerAddr.
+// Because the fabric resolves endpoints at transmit time — not enqueue time —
+// the pending retransmits retarget on their next tick and the original send
+// completes Ok with exactly one delivery, at the new endpoint.
+TEST(DatagramSemantics, SetPeerAddrRetargetsInFlightRetransmits) {
+  LiveRuntime::Config rcfg;
+  rcfg.seed = 7;
+  LiveRuntime rt(rcfg);
+  const HostId ha{1};
+  const HostId hb{2};
+  std::unique_ptr<DatagramFabric> a;
+  std::unique_ptr<DatagramFabric> b_dead;  // first incarnation of hb
+  std::unique_ptr<DatagramFabric> b_new;   // restarted incarnation, new port
+  Transport* ta = nullptr;
+  uint16_t port_new = 0;
+  int delivered = 0;
+  rt.RunOnLoop([&] {
+    DatagramFabric::Options oa = FastRto();
+    oa.max_retransmits = 500;  // must not exhaust during the dead window
+    a = std::make_unique<DatagramFabric>(&rt, oa);
+    b_dead = std::make_unique<DatagramFabric>(&rt, FastRto());
+    b_new = std::make_unique<DatagramFabric>(&rt, FastRto());
+    const uint16_t port_a = a->Listen();
+    const uint16_t port_dead = b_dead->Listen();
+    port_new = b_new->Listen();
+    // The dead incarnation: hb was bound here, then in-place killed — its
+    // handlers are gone and the fault replica marks the host down, so
+    // arriving records are dropped without an ack.
+    b_dead->TransportFor(hb);
+    b_dead->faults().SetHostDown(hb, true);
+    // The restarted incarnation delivers and acks normally.
+    b_new->TransportFor(hb);
+    b_new->RegisterHandler(hb, msgtype::kTest, [&](const WireMessage&) { ++delivered; });
+    b_new->SetPeerAddr(ha, port_a);
+    // The sender still believes hb lives at the dead incarnation's port.
+    a->SetPeerAddr(hb, port_dead);
+    ta = a->TransportFor(ha);
+  });
+  auto await = [&](const std::function<bool()>& pred, Duration bound) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(bound.ToMicros());
+    for (;;) {
+      bool ok = false;
+      rt.RunOnLoop([&] { ok = pred(); });
+      if (ok) {
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+
+  bool acked = false;
+  Status status = Status::Broken("unset");
+  rt.RunOnLoop([&] {
+    WireMessage m;
+    m.to = hb;
+    m.type = msgtype::kTest;
+    m.category = MsgCategory::kApp;
+    Writer w;
+    w.PutU32(0);
+    m.payload = w.Take();
+    ta->Send(std::move(m), [&](const Status& s) {
+      status = s;
+      acked = true;
+    });
+  });
+
+  // Retransmits pile up against the dead endpoint: silence, no ack.
+  const bool saw_retransmits =
+      await([&] { return a->debug_stats().retransmits >= 2; }, Duration::Seconds(10));
+  bool acked_early = true;
+  rt.RunOnLoop([&] { acked_early = acked; });
+
+  // The fresh incarnation re-advertises: one map edit, no new Send calls.
+  rt.RunOnLoop([&] { a->SetPeerAddr(hb, port_new); });
+  const bool completed =
+      await([&] { return acked && delivered >= 1; }, Duration::Seconds(10));
+
+  int final_delivered = 0;
+  rt.RunOnLoop([&] { final_delivered = delivered; });
+  rt.Stop();  // quiesce before fabric teardown and before reading `status`
+  ASSERT_TRUE(saw_retransmits) << "no retransmits against the dead endpoint";
+  EXPECT_FALSE(acked_early) << "send acked while pointed at the dead incarnation";
+  ASSERT_TRUE(completed) << "retransmits never retargeted to the new endpoint";
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(final_delivered, 1) << "retargeting duplicated the delivery";
+}
+
+// The deployment-facing text format behind multi-host address maps:
+// `<host-id> <a.b.c.d>:<port>` lines, the bare-port loopback shorthand, and
+// `#` comments must round-trip through ToText/FromText, and parse errors must
+// name the offending line without discarding entries merged so far.
+TEST(PeerAddressMapText, RoundTripShorthandAndErrors) {
+  PeerAddressMap m;
+  std::string err;
+  ASSERT_TRUE(m.FromText("# deployment map\n"
+                         "0 10.1.2.3:9000\n"
+                         "1 9001\n"  // loopback shorthand
+                         "\n"
+                         "7 10.1.2.4:9000  # trailing comment\n",
+                         &err))
+      << err;
+  ASSERT_EQ(m.size(), 3u);
+  ASSERT_TRUE(m.Contains(HostId(0)));
+  EXPECT_EQ(m.Find(HostId(0))->ToString(), "10.1.2.3:9000");
+  EXPECT_EQ(*m.Find(HostId(1)), PeerEndpoint::Loopback(9001));
+  EXPECT_EQ(m.Find(HostId(7))->ToString(), "10.1.2.4:9000");
+
+  // Round trip: text -> map -> text -> map preserves every entry.
+  PeerAddressMap again;
+  ASSERT_TRUE(again.FromText(m.ToText(), &err)) << err;
+  EXPECT_EQ(again.size(), m.size());
+  for (const auto& [host, ep] : m.entries()) {
+    const PeerEndpoint* found = again.Find(HostId(host));
+    ASSERT_NE(found, nullptr) << "host " << host << " lost in round trip";
+    EXPECT_EQ(*found, ep);
+  }
+
+  // A malformed line is reported by content, and earlier lines still merged.
+  PeerAddressMap partial;
+  EXPECT_FALSE(partial.FromText("3 9003\nbogus line here\n", &err));
+  EXPECT_NE(err.find("bogus"), std::string::npos) << err;
+  EXPECT_TRUE(partial.Contains(HostId(3)));
+
+  // FromText merges (last write wins) and bumps the version on real change.
+  const uint64_t v = m.version();
+  ASSERT_TRUE(m.FromText("1 10.9.9.9:4242\n", &err)) << err;
+  EXPECT_GT(m.version(), v);
+  EXPECT_EQ(m.Find(HostId(1))->ToString(), "10.9.9.9:4242");
 }
 
 }  // namespace

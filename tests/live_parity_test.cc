@@ -77,6 +77,40 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// Machine failure on the wall-clock backend: nodes_per_machine=3 groups the
+// 12 nodes into 4 fault domains (on the real transports, co-located nodes
+// also share one fabric and one port — the single-process analogue of a
+// multi-tenant worker). One machine dies as a unit; every group spanning it
+// must notify each live member exactly once, and machine-disjoint groups
+// must stay silent. Same definition as the sim leg (property_test.cc) and
+// the multi-tenant process leg (process_multinode_test.cc).
+class LiveMachineFailure : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(LiveMachineFailure, SpanningGroupsNotifyDisjointGroupsStaySilent) {
+  const TransportKind transport = GetParam();
+#if !defined(__linux__)
+  if (transport != TransportKind::kInProcess) {
+    GTEST_SKIP() << "real transports need the Linux epoll loop";
+  }
+#endif
+  LiveClusterConfig cfg = LiveClusterConfig::FastProtocol(12, /*seed=*/42);
+  cfg.transport = transport;
+  cfg.nodes_per_machine = 3;
+  LiveCluster cluster(cfg);
+  cluster.Build();
+  const ScenarioResult result =
+      RunAgreementScenario(cluster, ScenarioKind::kMachineFailure, LiveOptions(42));
+  EXPECT_TRUE(result.ok()) << "MachineFailure live: " << result.ToString();
+  EXPECT_GE(result.notified, 1) << "scenario did not exercise the notification path";
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, LiveMachineFailure,
+                         ::testing::Values(TransportKind::kInProcess, TransportKind::kUdp),
+                         [](const ::testing::TestParamInfo<TransportKind>& pinfo) {
+                           return std::string(pinfo.param == TransportKind::kUdp ? "Udp"
+                                                                                 : "InProcess");
+                         });
+
 // Fault-rule parity at the runtime level: partitions applied through the
 // same FaultInjector vocabulary the sim fabric consults, exercised against
 // the live loop thread (this is the TSan lock-discipline canary for

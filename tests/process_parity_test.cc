@@ -84,9 +84,14 @@ TEST_P(ProcessParityScenario, AgreementHoldsAcrossOsProcesses) {
 
 INSTANTIATE_TEST_SUITE_P(
     Kinds, ProcessParityScenario,
+    // kMachineFailure under the default one-node-per-worker placement: every
+    // machine is a singleton, so the machine loss is one genuine SIGKILL —
+    // the degenerate end of the placement spectrum (process_multinode_test.cc
+    // covers the multi-tenant end).
     ::testing::Combine(::testing::Values(ScenarioKind::kCrashMember,
                                          ScenarioKind::kPartitionHeal,
-                                         ScenarioKind::kChurnDuringCreate),
+                                         ScenarioKind::kChurnDuringCreate,
+                                         ScenarioKind::kMachineFailure),
                        ::testing::Values(TransportKind::kTcp, TransportKind::kUdp)),
     [](const ::testing::TestParamInfo<std::tuple<ScenarioKind, TransportKind>>& pinfo) {
       std::string name = ScenarioKindName(std::get<0>(pinfo.param));

@@ -265,6 +265,41 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Machine failure under co-located placement (the paper's 400-nodes-on-40-
+// machines setup): crash one whole machine and require every group spanning
+// it to notify each live member exactly once, while machine-disjoint groups
+// stay silent — co-hosted repair must not leak false positives. Sim leg of
+// the backend-parameterized kMachineFailure scenario (live_parity_test.cc
+// and process_multinode_test.cc run the identical definition on wall-clock
+// and multi-tenant-process backends).
+// ---------------------------------------------------------------------------
+
+class MachineFailureProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MachineFailureProperty, SpanningGroupsNotifyDisjointGroupsStaySilent) {
+  const uint64_t seed = GetParam();
+  ClusterConfig cfg;
+  cfg.num_nodes = 36;
+  cfg.hosts_per_machine = 4;  // 9 machines of 4 co-located nodes
+  cfg.seed = seed;
+  cfg.topology.num_as = 60;
+  cfg.cost = CostModel::Simulator();
+  SimCluster cluster(cfg);
+  cluster.Build();
+  ScenarioOptions opts;
+  opts.seed = seed;
+  opts.timing = ScenarioTiming::Sim();
+  const ScenarioResult result =
+      RunAgreementScenario(cluster, ScenarioKind::kMachineFailure, opts);
+  EXPECT_TRUE(result.ok()) << "MachineFailure seed " << seed << ": " << result.ToString();
+  EXPECT_FALSE(result.target_skipped);
+  EXPECT_GE(result.notified, 1) << result.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineFailureProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+// ---------------------------------------------------------------------------
 // Overlay routing invariants across seeds and sizes.
 // ---------------------------------------------------------------------------
 
